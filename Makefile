@@ -1,0 +1,30 @@
+# Reproduction of "Private Editing Using Untrusted Cloud Services"
+# (Huang & Evans, 2011).  Common entry points:
+
+PYTHON ?= python3
+
+.PHONY: install test bench figures examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:            ## timings only (shape assertions skipped)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:          ## timings + qualitative shape assertions + tables
+	$(PYTHON) -m pytest benchmarks/
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+all: install test figures examples
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

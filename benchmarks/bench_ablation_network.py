@@ -1,0 +1,101 @@
+"""Ablation E — sensitivity of the macro numbers to network calibration.
+
+EXPERIMENTS.md claims the Fig. 5 percentages move with the latency
+model while the *shape* does not.  This ablation substantiates that: the
+same macro case (large file, mixed edits, 1-char rECB) runs under three
+calibrations — the default 2011 WAN, a slow uplink (1 MB/s), and a fast
+LAN — and the table shows initial-load overhead swinging by an order of
+magnitude while every qualitative ordering (load >> edits; slower
+network ⇒ *larger* relative crypto/upload overhead on LAN) survives.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import register_table
+from repro.bench import pct, render_table
+from repro.bench.macro import MacroCase, run_macro_case
+from repro.net.latency import LatencyModel
+
+CASE = MacroCase(
+    file_chars=8_000, category="inserts & deletes", scheme="recb",
+    block_chars=1, edits_per_session=4, trials=2,
+)
+
+
+def wan_2011(seed: int) -> LatencyModel:
+    """The default calibration used by Fig. 5 / Fig. 8."""
+    return LatencyModel(rng=random.Random(seed))
+
+
+def slow_uplink(seed: int) -> LatencyModel:
+    """2011 ADSL-class uplink: transfer dominates."""
+    return LatencyModel(bytes_per_second=1_000_000.0,
+                        rng=random.Random(seed))
+
+
+def fast_lan(seed: int) -> LatencyModel:
+    """Fast local network: crypto/processing dominates."""
+    return LatencyModel(
+        rtt_mean=0.002, rtt_jitter=0.0005,
+        server_mean=0.002, server_jitter=0.0005,
+        bytes_per_second=100_000_000.0,
+        rng=random.Random(seed),
+    )
+
+
+CALIBRATIONS = {
+    "WAN 2011 (default)": wan_2011,
+    "slow uplink (1 MB/s)": slow_uplink,
+    "fast LAN": fast_lan,
+}
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    results = {}
+    rows = []
+    for label, factory in CALIBRATIONS.items():
+        report = run_macro_case(CASE, latency_factory=factory)
+        results[label] = report
+        rows.append([
+            label,
+            pct(report.initial_load.mean),
+            pct(report.edit_ops.mean),
+        ])
+    register_table("ablation_network", render_table(
+        ["calibration", "initial load overhead", "edit overhead"],
+        rows,
+        title="Ablation E - macro degradation vs network calibration "
+              "(8k-char file, mixed edits, 1-char rECB)",
+    ))
+    return results
+
+
+class TestAblationNetwork:
+    def test_one_macro_run(self, benchmark, ablation):
+        small = MacroCase(file_chars=500, category="inserts only",
+                          scheme="recb", block_chars=8,
+                          edits_per_session=2, trials=1)
+        benchmark(lambda: run_macro_case(small))
+
+    def test_shape_survives_every_calibration(self, ablation):
+        """Initial load dominates edits under all three networks."""
+        for report in ablation.values():
+            assert report.initial_load.mean > report.edit_ops.mean
+
+    def test_absolute_numbers_swing_with_calibration(self, ablation):
+        """The honest point: percentages are calibration-dependent."""
+        loads = [r.initial_load.mean for r in ablation.values()]
+        assert max(loads) > 3 * min(loads)
+
+    def test_slow_uplink_amplifies_blowup_cost(self, ablation):
+        """The 28x ciphertext upload hurts most where transfer is the
+        bottleneck."""
+        assert (
+            ablation["slow uplink (1 MB/s)"].initial_load.mean
+            > ablation["WAN 2011 (default)"].initial_load.mean
+        )

@@ -1,0 +1,109 @@
+"""Fig. 5 — macro-benchmark: end-to-end save-latency degradation.
+
+Paper setup (SVII-C): Selenium-driven sessions on small (~500 chars) and
+large (~10000 chars) files; a test case is a whole-document save
+followed by sentence-level inserts / deletes / mixed edits; each case
+runs with and without the extension and the latency overhead is
+reported.  Block size is 1 character (the multi-character variant is
+Fig. 8).
+
+Paper numbers (degradation mean):
+    small:  initial load 24-25 %, inserts 6-7 %, deletes 3-4.5 %,
+            mixed 7.4-9 %
+    large:  initial load 43-45 %, inserts 8-10 %, deletes ~4 %,
+            mixed 11-13 %
+
+Expected shape here (see EXPERIMENTS.md for the calibration): initial
+load is by far the most expensive (ciphertext blow-up inflates the full
+upload), per-edit overhead stays in single digits, deletes are cheaper
+than inserts, large files cost more than small, and RPC tracks rECB
+closely.  Absolute percentages differ because our crypto:network ratio
+differs from a 2008 JS engine on a 2011 WAN.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import register_table
+from repro.bench import pct, render_table
+from repro.bench.macro import MacroCase, run_macro_case
+from repro.workloads import CATEGORIES, LARGE_FILE_CHARS, SMALL_FILE_CHARS
+
+
+@pytest.fixture(scope="module")
+def fig5_table():
+    sections = []
+    shape = {}
+    for label, file_chars in (("small (~500 chars)", SMALL_FILE_CHARS),
+                              ("large (~10000 chars)", LARGE_FILE_CHARS)):
+        rows = []
+        for scheme in ("recb", "rpc"):
+            reports = {}
+            load_case = MacroCase(file_chars, "inserts only", scheme, 1,
+                                  edits_per_session=4, trials=2)
+            for category in CATEGORIES:
+                case = MacroCase(file_chars, category, scheme, 1,
+                                 edits_per_session=4, trials=2)
+                reports[category] = run_macro_case(case)
+            load = run_macro_case(load_case).initial_load
+            rows.append([scheme, "initial load", pct(load.mean),
+                         f"{load.dev:.3f}"])
+            for category in CATEGORIES:
+                sample = reports[category].edit_ops
+                rows.append([scheme, category, pct(sample.mean),
+                             f"{sample.dev:.3f}"])
+                shape[(label, scheme, category)] = sample.mean
+            shape[(label, scheme, "initial load")] = load.mean
+        sections.append(render_table(
+            ["scheme", "workload", "mean", "dev"],
+            rows,
+            title=f"Fig. 5 - macro-benchmark degradation, {label}, "
+                  f"1-char blocks",
+        ))
+    register_table("fig5_macro", "\n".join(sections))
+    return shape
+
+
+class TestFig5:
+    def test_save_with_extension(self, benchmark, fig5_table):
+        """Benchmark one representative extension-mediated edit+save."""
+        from repro.crypto.random import DeterministicRandomSource
+        from repro.extension import PrivateEditingSession
+        from repro.workloads.documents import small_document
+
+        session = PrivateEditingSession(
+            "bench", "pw", scheme="recb", block_chars=1,
+            rng=DeterministicRandomSource(1),
+        )
+        session.open()
+        session.client.editor.set_text(small_document(1))
+        session.save()
+        counter = iter(range(10 ** 9))
+
+        def edit_and_save():
+            session.type_text(0, f"edit {next(counter)} ")
+            session.save()
+
+        benchmark(edit_and_save)
+
+    def test_shape_initial_load_dominates(self, fig5_table):
+        for label in ("small (~500 chars)", "large (~10000 chars)"):
+            for scheme in ("recb", "rpc"):
+                load = fig5_table[(label, scheme, "initial load")]
+                for category in CATEGORIES:
+                    assert load > fig5_table[(label, scheme, category)]
+
+    def test_shape_large_load_exceeds_small(self, fig5_table):
+        for scheme in ("recb", "rpc"):
+            assert (
+                fig5_table[("large (~10000 chars)", scheme, "initial load")]
+                > fig5_table[("small (~500 chars)", scheme, "initial load")]
+            )
+
+    def test_shape_deletes_cheapest_edits(self, fig5_table):
+        for label in ("small (~500 chars)", "large (~10000 chars)"):
+            for scheme in ("recb", "rpc"):
+                deletes = fig5_table[(label, scheme, "deletes only")]
+                inserts = fig5_table[(label, scheme, "inserts only")]
+                assert deletes <= inserts + 0.01

@@ -1,0 +1,112 @@
+"""Fig. 7 — ciphertext blow-up reduction from multi-character blocks.
+
+Paper numbers (blow-up factor and reduction relative to b=1):
+
+    block size   1      2      3     4     5     6     7     8
+    blowup     21.00  10.71  7.35  6.09  4.83  4.41  3.78  3.75
+    reduction    0%    49%    65%   71%   77%   79%   82%   82%
+
+and SVII-D notes "the actual reduction is less than the ideal reduction
+due to fragmentation".  Our wire format stores 28 Base32 characters per
+record (17 raw bytes: count header + AES block), so the *ideal* blow-up
+is ~28/b plus bookkeeping; the measured value is taken after an editing
+churn that fragments blocks, reproducing the ideal-vs-actual gap.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import register_table
+from repro.bench import render_table
+from repro.core import KeyMaterial, create_document
+from repro.crypto.random import DeterministicRandomSource
+from repro.encoding.wire import RECORD_CHARS
+from repro.workloads.documents import document_of_length
+from repro.workloads.edits import edit_stream
+
+DOC_CHARS = 10_000
+BLOCK_SIZES = list(range(1, 9))
+CHURN_EDITS = 60
+
+KEYS = KeyMaterial.from_password("bench", salt=b"benchsalt7")
+
+
+def _churned_document(b: int):
+    """Encrypt a 10k doc, then apply an editing session to fragment it."""
+    text = document_of_length(DOC_CHARS, seed=3)
+    doc = create_document(text, key_material=KEYS, scheme="recb",
+                          block_chars=b, rng=DeterministicRandomSource(7))
+    rng = random.Random(b)
+    current = text
+    for delta in edit_stream(text, "inserts & deletes", rng, CHURN_EDITS):
+        current = delta.apply(current)
+        doc.apply_delta(delta)
+    return doc
+
+
+@pytest.fixture(scope="module")
+def blowups():
+    fresh: dict[int, float] = {}
+    churned: dict[int, float] = {}
+    for b in BLOCK_SIZES:
+        text = document_of_length(DOC_CHARS, seed=3)
+        doc = create_document(text, key_material=KEYS, scheme="recb",
+                              block_chars=b,
+                              rng=DeterministicRandomSource(7))
+        fresh[b] = doc.blowup()
+        churned[b] = _churned_document(b).blowup()
+
+    base = churned[1]
+    rows = []
+    for b in BLOCK_SIZES:
+        ideal = RECORD_CHARS / b  # data records only, perfectly packed
+        rows.append([
+            str(b),
+            f"{ideal:.2f}x",
+            f"{fresh[b]:.2f}x",
+            f"{churned[b]:.2f}x",
+            f"{(1 - churned[b] / base) * 100:.0f}%",
+        ])
+    register_table("fig7_blowup", render_table(
+        ["block size", "ideal", "fresh (greedy)", "after churn (measured)",
+         "reduction vs b=1"],
+        rows,
+        title=f"Fig. 7 - ciphertext blow-up vs block size "
+              f"({DOC_CHARS}-char doc, {CHURN_EDITS} churn edits)",
+    ))
+    return fresh, churned
+
+
+class TestFig7:
+    def test_measure_blowup_sweep(self, benchmark, blowups):
+        """Benchmark the measurement itself on one configuration."""
+        benchmark(lambda: _churned_document(8).blowup())
+
+    def test_shape_blowup_monotone_decreasing(self, blowups):
+        _, churned = blowups
+        for smaller, larger in zip(BLOCK_SIZES, BLOCK_SIZES[1:]):
+            assert churned[larger] <= churned[smaller] + 0.01
+
+    def test_shape_reduction_reaches_paper_band(self, blowups):
+        """The paper reports an 82% reduction at b=8; ours must land in
+        the same region (>= 70%)."""
+        _, churned = blowups
+        reduction = 1 - churned[8] / churned[1]
+        assert reduction >= 0.70
+
+    def test_shape_fragmentation_gap(self, blowups):
+        """Measured (churned) blow-up exceeds the fresh greedy packing —
+        the paper's ideal-vs-actual fragmentation gap."""
+        fresh, churned = blowups
+        assert churned[8] > fresh[8]
+
+    def test_quota_headroom(self, blowups):
+        """SV-C's motivation: at b=1 a 10k-char document's ciphertext
+        would eat most of Google's 500 kB cap; at b=8 it fits easily."""
+        _, churned = blowups
+        from repro.services.gdocs.storage import MAX_DOCUMENT_CHARS
+        assert DOC_CHARS * churned[1] > MAX_DOCUMENT_CHARS / 2
+        assert DOC_CHARS * churned[8] < MAX_DOCUMENT_CHARS / 8

@@ -1,0 +1,34 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_*`` module both (a) registers pytest-benchmark timings for
+the operations the paper measures and (b) computes the corresponding
+paper table/figure, which is printed in the terminal summary and written
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_TABLES: list[tuple[str, str]] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def register_table(name: str, text: str) -> None:
+    """Record a rendered paper-style table for the summary and disk."""
+    _TABLES.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "paper tables & figures (reproduced)")
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(also written to {_RESULTS_DIR}/<figure>.txt)"
+    )

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Choosing the block-capacity parameter b (SV-C, Figs. 6-7).
+
+"The multiple-character block extension enables performance tradeoffs
+between ciphertext size and encryption time."  This example sweeps
+b = 1..8 on a 10000-character document and prints the trade-off table a
+user would tune against: ciphertext blow-up (which decides how large a
+document fits under the provider's 500 kB cap) versus whole-document
+and incremental encryption cost.
+
+Run:  python examples/blocksize_tuning.py
+"""
+
+import time
+
+from repro.bench import render_table
+from repro.core import KeyMaterial, create_document
+from repro.crypto.random import DeterministicRandomSource
+from repro.services.gdocs.storage import MAX_DOCUMENT_CHARS
+from repro.workloads.documents import document_of_length
+
+DOC_CHARS = 10_000
+KEYS = KeyMaterial.from_password("pw", salt=b"example-bs")
+
+
+def main() -> None:
+    text = document_of_length(DOC_CHARS, seed=1)
+    rows = []
+    for b in range(1, 9):
+        rng = DeterministicRandomSource(b)
+        t0 = time.perf_counter()
+        doc = create_document(text, key_material=KEYS, scheme="recb",
+                              block_chars=b, rng=rng)
+        encrypt_ms = (time.perf_counter() - t0) * 1000
+
+        t0 = time.perf_counter()
+        for i in range(20):
+            doc.insert((i * 997) % doc.char_length, "x")
+        edit_us = (time.perf_counter() - t0) / 20 * 1e6
+
+        blowup = doc.blowup()
+        max_doc = int(MAX_DOCUMENT_CHARS / blowup)
+        rows.append([
+            str(b),
+            f"{blowup:.2f}x",
+            f"{max_doc:,} chars",
+            f"{encrypt_ms:.1f} ms",
+            f"{edit_us:.0f} us",
+        ])
+    print(render_table(
+        ["b", "blow-up", "max doc under 500 kB cap",
+         "encrypt 10k chars", "per 1-char edit"],
+        rows,
+        title="Block-size trade-off (rECB, 10000-char document)",
+    ))
+    print("\nRule of thumb (matching the paper): b = 7 or 8 — the blow-up"
+          "\nreduction flattens there while incremental cost stays low.")
+
+
+if __name__ == "__main__":
+    main()

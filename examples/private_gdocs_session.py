@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A realistic editing session, with the adversary's view quantified.
+
+Replays a generated typing trace (bursts of keystrokes, occasional
+sentence edits, periodic autosaves — the workload of SVII-C) through
+the extension, while a passive eavesdropper records every exchange.
+At the end, the adversary's knowledge is summarized: what it saw, what
+it could infer (positions, timing, length), and what stayed hidden.
+
+Run:  python examples/private_gdocs_session.py
+"""
+
+from repro.crypto.random import DeterministicRandomSource
+from repro.extension import PrivateEditingSession
+from repro.net.latency import WAN_2011
+from repro.security.adversary import EavesdropperTap, HonestButCuriousServer
+from repro.security.analysis import shannon_entropy_per_byte
+from repro.workloads.documents import small_document
+from repro.workloads.traces import make_trace
+
+AUTOSAVE_INTERVAL = 10.0  # seconds, like the periodic client timeout
+
+
+def main() -> None:
+    trace = make_trace(small_document(seed=5), seed=42, duration=60.0)
+    print(f"trace: {len(trace.events)} user edits over 60 simulated seconds")
+
+    session = PrivateEditingSession(
+        "diary", "hunter2", scheme="rpc", block_chars=8,
+        latency=WAN_2011(1), rng=DeterministicRandomSource(9),
+    )
+    tap = EavesdropperTap()
+    session.channel.add_tap(tap)
+
+    session.open()
+    session.client.editor.set_text(trace.initial_text)
+    session.save()  # the session's first (full) save
+
+    # Replay: batch the trace's edits into autosave windows, exactly as
+    # the periodic client-side timeout did.
+    window_start = 0.0
+    while window_start < 60.0:
+        window_end = window_start + AUTOSAVE_INTERVAL
+        for delta in trace.deltas_between(window_start, window_end):
+            session.client.apply_delta(delta)
+        session.save()
+        window_start = window_end
+    session.close()
+
+    assert session.text == trace.final_text()
+    print(f"final document: {len(session.text)} chars "
+          f"(user saw every edit applied correctly)")
+
+    # ---- the adversary's view -------------------------------------------
+    print("\nAdversary (eavesdropper + curious server) report:")
+    updates = tap.observed_updates()
+    fulls = [u for u in updates if u.kind == "full"]
+    deltas = [u for u in updates if u.kind == "delta"]
+    print(f"  observed {len(fulls)} full save(s), {len(deltas)} delta save(s)")
+    print(f"  update instants visible at {AUTOSAVE_INTERVAL:.0f}s granularity "
+          f"(not per keystroke): "
+          f"{[round(u.at, 1) for u in updates[:6]]}...")
+    mean_records = sum(
+        u.deleted_records + u.inserted_records for u in deltas
+    ) / max(1, len(deltas))
+    print(f"  mean records rewritten per delta: {mean_records:.1f} "
+          f"(positional leakage, blurred to 8-char blocks)")
+
+    for word in set(trace.final_text().split()):
+        if len(word) >= 5:
+            assert tap.plaintext_sightings(word) == 0
+    print("  plaintext sightings of any document word: 0")
+
+    curious = HonestButCuriousServer(session.server.store)
+    estimate = curious.length_estimate("diary", block_chars=8)
+    print(f"  server's length estimate: ~{estimate} chars "
+          f"(true: {len(session.text)})")
+    print(f"  ciphertext byte entropy: "
+          f"{shannon_entropy_per_byte(curious.current_ciphertext('diary')):.2f} "
+          f"bits/byte (8.00 = random)")
+    print(f"  stored versions retained by server: "
+          f"{len(curious.version_history('diary'))} (all ciphertext)")
+
+    print("\nprivate session OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+The environment has no ``wheel`` package, so PEP-517 editable installs
+fail; this file lets ``pip install -e .`` take the legacy
+``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

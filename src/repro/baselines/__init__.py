@@ -1,0 +1,7 @@
+"""Comparison baselines: CoClo-style whole-document re-encryption and
+the naive fixed-alignment block store (the strawman of SV-C)."""
+
+from repro.baselines.coclo import CocloDocument
+from repro.baselines.naive_blocks import NaiveAlignedDocument
+
+__all__ = ["CocloDocument", "NaiveAlignedDocument"]

@@ -1,0 +1,100 @@
+"""CoClo-style baseline: re-encrypt the whole document on every update.
+
+The paper positions itself against CoClo [12], "which requires
+reencrypting and transmitting the entire document for every update".
+This baseline gives that comparison a concrete implementation with the
+*same* cipher, wire format, and key handling as the incremental scheme —
+so the ablation benchmark isolates exactly the incremental-vs-whole
+question (CPU per update and bytes transmitted per update).
+"""
+
+from __future__ import annotations
+
+from repro.core import blocks
+from repro.core.delta import Delete, Delta, Insert, Retain
+from repro.core.document import EncryptedDocument, create_document
+from repro.core.keys import KeyMaterial
+from repro.crypto.random import RandomSource
+
+__all__ = ["CocloDocument"]
+
+
+class CocloDocument:
+    """Whole-document re-encryption under the rECB block layout.
+
+    API mirrors :class:`repro.core.document.EncryptedDocument` closely
+    enough for the benchmarks: ``apply_delta`` returns the cdelta the
+    client must transmit — which is always a full replacement.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        password: str | None = None,
+        key_material: KeyMaterial | None = None,
+        scheme: str = "recb",
+        block_chars: int = blocks.MAX_BLOCK_CHARS,
+        rng: RandomSource | None = None,
+    ):
+        if key_material is None:
+            if password is None:
+                raise ValueError("a password or key material is required")
+            key_material = KeyMaterial.from_password(password, rng=rng)
+        self._keys = key_material
+        self._scheme = scheme
+        self._block_chars = block_chars
+        self._rng = rng
+        self._doc: EncryptedDocument = self._encrypt(text)
+
+    def _encrypt(self, text: str) -> EncryptedDocument:
+        return create_document(
+            text,
+            key_material=self._keys,
+            scheme=self._scheme,
+            block_chars=self._block_chars,
+            rng=self._rng,
+        )
+
+    # -- EncryptedDocument-compatible surface -----------------------------
+
+    @property
+    def text(self) -> str:
+        return self._doc.text
+
+    @property
+    def char_length(self) -> int:
+        return self._doc.char_length
+
+    def wire(self) -> str:
+        """The full stored form (header + record area)."""
+        return self._doc.wire()
+
+    def wire_length(self) -> int:
+        """Length of :meth:`wire` in characters."""
+        return self._doc.wire_length()
+
+    def blowup(self) -> float:
+        """Stored characters per plaintext character."""
+        return self._doc.blowup()
+
+    def apply_delta(self, delta: Delta) -> Delta:
+        """Re-encrypt everything; the cdelta replaces the whole record
+        area (header retained: same key, same salt)."""
+        old_area = self._doc.wire_length() - self._doc._header.wire_length
+        new_text = delta.apply(self._doc.text)
+        self._doc = self._encrypt(new_text)
+        new_wire = self._doc.wire()
+        header_len = self._doc._header.wire_length
+        ops = [Retain(header_len)]
+        if old_area:
+            ops.append(Delete(old_area))
+        ops.append(Insert(new_wire[header_len:]))
+        return Delta(ops)
+
+    def insert(self, pos: int, text: str) -> Delta:
+        """Insert text; re-encrypts the whole document (CoClo's cost)."""
+        return self.apply_delta(Delta.insertion(pos, text))
+
+    def delete(self, pos: int, count: int) -> Delta:
+        """Delete a range; re-encrypts the whole document."""
+        return self.apply_delta(Delta.deletion(pos, count))

@@ -1,0 +1,8 @@
+"""Benchmark harness utilities: timing accumulation and paper-style
+table rendering."""
+
+from repro.bench.reporting import banner, pct, render_table
+from repro.bench.timing import Sample, Stopwatch, ms_per_char
+
+__all__ = ["Stopwatch", "Sample", "ms_per_char", "render_table", "pct",
+           "banner"]

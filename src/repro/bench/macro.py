@@ -1,0 +1,120 @@
+"""The macro-benchmark harness (SVII-C).
+
+A macro test case is an editing session against the simulated Google
+Documents service: open the document, perform the session's first full
+save, then a series of sentence-level edits each followed by a save.
+Latency of an operation is **real wall-clock crypto/processing time plus
+simulated network/server time** (the latency model advances the
+channel's clock; EXPERIMENTS.md records the calibration).
+
+Runs come in pairs — identical workload and latency draws with the
+extension enabled and disabled — and the reported figure is the paper's
+*performance degradation*: ``(t_ext − t_plain) / t_plain`` per
+operation, summarized as mean and deviation over all edits of all
+trials, exactly the shape of Fig. 5 / Fig. 8.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.bench.timing import Sample
+from repro.crypto.random import DeterministicRandomSource
+from repro.extension import PrivateEditingSession
+from repro.net.latency import WAN_2011, LatencyModel
+from repro.workloads.documents import document_of_length
+from repro.workloads.edits import edit_stream
+
+__all__ = ["MacroCase", "MacroReport", "run_macro_case"]
+
+
+@dataclass(frozen=True)
+class MacroCase:
+    """One (file size x workload x scheme x block size) configuration."""
+
+    file_chars: int
+    category: str            #: one of repro.workloads.CATEGORIES
+    scheme: str              #: "recb" | "rpc"
+    block_chars: int
+    edits_per_session: int = 8
+    trials: int = 3
+
+
+@dataclass
+class MacroReport:
+    """Degradation statistics for one case (the paper's table row)."""
+
+    case: MacroCase
+    initial_load: Sample
+    edit_ops: Sample
+
+
+def _timed(session: PrivateEditingSession, action) -> float:
+    """Wall time of ``action`` plus the simulated latency it incurred."""
+    clock_before = session.channel.clock.now()
+    start = time.perf_counter()
+    action()
+    elapsed = time.perf_counter() - start
+    return elapsed + (session.channel.clock.now() - clock_before)
+
+
+def _run_session(
+    case: MacroCase,
+    enabled: bool,
+    seed: int,
+    latency_factory=WAN_2011,
+) -> tuple[float, list[float]]:
+    """One session; returns (initial-load latency, per-edit latencies)."""
+    text = document_of_length(case.file_chars, seed)
+    latency: LatencyModel = latency_factory(seed)
+    session = PrivateEditingSession(
+        f"doc{seed}", "pw",
+        scheme=case.scheme,
+        block_chars=case.block_chars,
+        latency=latency,
+        extension_enabled=enabled,
+        rng=DeterministicRandomSource(seed),
+    )
+
+    def initial_load() -> None:
+        session.open()
+        session.client.editor.set_text(text)  # paste the whole document
+        session.save()                         # session's first, full save
+
+    load_latency = _timed(session, initial_load)
+
+    edit_latencies: list[float] = []
+    workload_rng = random.Random(seed * 1000 + 17)
+    current = text
+    for delta in edit_stream(text, case.category, workload_rng,
+                             case.edits_per_session):
+        current = delta.apply(current)
+
+        def one_edit(delta=delta) -> None:
+            session.client.apply_delta(delta)
+            session.save()
+
+        edit_latencies.append(_timed(session, one_edit))
+    session.close()
+    return load_latency, edit_latencies
+
+
+def run_macro_case(case: MacroCase, latency_factory=WAN_2011) -> MacroReport:
+    """Run paired sessions and report per-operation degradation."""
+    load_overhead = Sample()
+    edit_overhead = Sample()
+    for trial in range(case.trials):
+        seed = trial + 1
+        plain_load, plain_edits = _run_session(
+            case, enabled=False, seed=seed, latency_factory=latency_factory
+        )
+        ext_load, ext_edits = _run_session(
+            case, enabled=True, seed=seed, latency_factory=latency_factory
+        )
+        load_overhead.add((ext_load - plain_load) / plain_load)
+        for plain, ext in zip(plain_edits, ext_edits):
+            edit_overhead.add((ext - plain) / plain)
+    return MacroReport(case=case, initial_load=load_overhead,
+                       edit_ops=edit_overhead)

@@ -1,0 +1,53 @@
+"""Paper-style table rendering for benchmark output.
+
+Every figure-reproducing benchmark prints its rows in the same layout
+the paper uses, so EXPERIMENTS.md can place them side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "pct", "banner"]
+
+
+def pct(fraction: float) -> str:
+    """Format a fraction as the paper formats degradation percentages."""
+    value = fraction * 100.0
+    if value >= 10:
+        return f"{value:.0f}%"
+    return f"{value:.1f}%"
+
+
+def banner(title: str) -> str:
+    """Render a section banner around ``title``."""
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells)
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(banner(title))
+    header_line = "  ".join(
+        cells[0][col].ljust(widths[col]) for col in range(len(headers))
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append(
+            "  ".join(row[col].ljust(widths[col]) for col in range(len(headers)))
+        )
+    return "\n".join(lines)

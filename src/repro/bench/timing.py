@@ -1,0 +1,61 @@
+"""Timing utilities shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Stopwatch", "Sample", "ms_per_char"]
+
+
+class Stopwatch:
+    """Accumulates wall-clock time across ``measure()`` blocks."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: list[float] = []
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        """Context manager timing one lap into :attr:`laps`."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            lap = time.perf_counter() - start
+            self.elapsed += lap
+            self.laps.append(lap)
+
+
+@dataclass
+class Sample:
+    """A set of scalar observations with paper-style summary stats."""
+
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values) if self.values else 0.0
+
+    @property
+    def dev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def ms_per_char(seconds: float, chars: int) -> float:
+    """The paper's Fig. 4 normalization: milliseconds per character."""
+    if chars == 0:
+        return 0.0
+    return seconds * 1000.0 / chars

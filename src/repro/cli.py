@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small operational surface over the library, for working with wire
+documents as files:
+
+* ``encrypt``  — plaintext file → ciphertext wire document
+* ``decrypt``  — wire (or stego) document → plaintext
+* ``edit``     — apply an insert/delete/replace *incrementally* to a
+  wire document, printing the ciphertext delta that a server would
+  receive (the IncE operation, observable)
+* ``inspect``  — parse a wire document's public metadata without any
+  password; verify it when a password is given
+* ``demo``     — a one-command tour of the simulated private-editing
+  stack
+
+Passwords are taken from ``--password`` or the ``REPRO_PASSWORD``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core import create_document, load_document
+from repro.core.delta import Delta
+from repro.encoding.stego import looks_stego, stego_unwrap, stego_wrap
+from repro.encoding.wire import RECORD_CHARS, parse_document
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _write(path: str | None, content: str) -> None:
+    if path is None or path == "-":
+        sys.stdout.write(content)
+        if not content.endswith("\n"):
+            sys.stdout.write("\n")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+
+
+def _password(args: argparse.Namespace) -> str:
+    password = args.password or os.environ.get("REPRO_PASSWORD")
+    if not password:
+        raise SystemExit(
+            "error: a password is required (--password or REPRO_PASSWORD)"
+        )
+    return password
+
+
+def _load(path: str, password: str):
+    content = _read(path)
+    if looks_stego(content):
+        content = stego_unwrap(content)
+    return load_document(content, password=password)
+
+
+# -- commands ----------------------------------------------------------------
+
+
+def cmd_encrypt(args: argparse.Namespace) -> int:
+    """``repro encrypt``: plaintext file -> ciphertext wire document."""
+    text = _read(args.infile)
+    doc = create_document(
+        text,
+        password=_password(args),
+        scheme=args.scheme,
+        block_chars=args.block_chars,
+    )
+    wire = doc.wire()
+    if args.stego:
+        wire = stego_wrap(wire)
+    _write(args.output, wire)
+    print(
+        f"encrypted {doc.char_length} chars -> {len(wire)} stored chars "
+        f"({doc.scheme}, b={doc.block_chars}, "
+        f"blow-up {len(wire) / max(1, doc.char_length):.1f}x)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_decrypt(args: argparse.Namespace) -> int:
+    """``repro decrypt``: wire (or stego) document -> plaintext."""
+    doc = _load(args.infile, _password(args))
+    _write(args.output, doc.text)
+    return 0
+
+
+def cmd_edit(args: argparse.Namespace) -> int:
+    """``repro edit``: apply one edit incrementally, printing the cdelta size."""
+    doc = _load(args.infile, _password(args))
+    delta = Delta.replacement(
+        args.at, args.delete or 0, args.insert or ""
+    )
+    cdelta = doc.apply_delta(delta)
+    wire = doc.wire()
+    if args.stego:
+        wire = stego_wrap(wire)
+    _write(args.infile if args.in_place else args.output, wire)
+    touched = sum(
+        len(op.text) if hasattr(op, "text") else op.count
+        for op in cdelta.ops
+        if type(op).__name__ in ("Insert", "Delete")
+    )
+    print(
+        f"applied edit at {args.at}: ciphertext delta rewrites "
+        f"~{touched // RECORD_CHARS} records "
+        f"({len(cdelta.serialize())} delta chars, document is "
+        f"{doc.char_length} chars)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """``repro inspect``: show a wire document's public metadata."""
+    content = _read(args.infile)
+    stego = looks_stego(content)
+    if stego:
+        content = stego_unwrap(content)
+    header, records = parse_document(content)
+    data_records = [r for r in records if r.char_count > 0]
+    chars = sum(r.char_count for r in records)
+    print(f"scheme:        {header.scheme}")
+    print(f"block chars:   {header.block_chars}")
+    print(f"nonce bits:    {header.nonce_bits}")
+    print(f"stego wrapped: {'yes' if stego else 'no'}")
+    print(f"records:       {len(records)} "
+          f"({len(data_records)} data, "
+          f"{len(records) - len(data_records)} bookkeeping)")
+    print(f"plaintext:     {chars} chars (from public block counters)")
+    print(f"stored size:   {len(content)} chars "
+          f"(blow-up {len(content) / max(1, chars):.1f}x)")
+    password = args.password or os.environ.get("REPRO_PASSWORD")
+    if password:
+        doc = load_document(content, password=password)
+        verdict = "verified (integrity)" if doc.supports_integrity else \
+            "decrypted (no integrity in this scheme)"
+        print(f"with password: {verdict}; version "
+              f"{getattr(doc, 'version', 'n/a')}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """``repro demo``: a one-command tour of the private-editing stack."""
+    from repro.extension import PrivateEditingSession
+
+    session = PrivateEditingSession("demo", "demo-password",
+                                    scheme="rpc")
+    session.open()
+    session.type_text(0, "This never reaches the provider in the clear.")
+    session.save()
+    session.type_text(0, "Demo: ")
+    session.save()
+    print("user sees: ", session.text)
+    stored = session.server_view()
+    print("server has:", stored[:64] + "...")
+    print(f"({len(stored)} stored chars; 2 saves: 1 full + 1 delta)")
+    return 0
+
+
+# -- wiring ------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Private editing on untrusted cloud services "
+                    "(Huang & Evans, 2011) — reproduction CLI.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_password(p):
+        p.add_argument("--password", help="document password "
+                       "(or set REPRO_PASSWORD)")
+
+    p = sub.add_parser("encrypt", help="encrypt a plaintext file")
+    add_password(p)
+    p.add_argument("--scheme", choices=["recb", "rpc"], default="rpc")
+    p.add_argument("--block-chars", type=int, default=8)
+    p.add_argument("--stego", action="store_true",
+                   help="disguise the ciphertext as pseudo-prose")
+    p.add_argument("-o", "--output", default="-")
+    p.add_argument("infile", nargs="?", default="-")
+    p.set_defaults(func=cmd_encrypt)
+
+    p = sub.add_parser("decrypt", help="decrypt a wire document")
+    add_password(p)
+    p.add_argument("-o", "--output", default="-")
+    p.add_argument("infile", nargs="?", default="-")
+    p.set_defaults(func=cmd_decrypt)
+
+    p = sub.add_parser("edit", help="apply one edit incrementally")
+    add_password(p)
+    p.add_argument("--at", type=int, required=True,
+                   help="character position of the edit")
+    p.add_argument("--insert", help="text to insert")
+    p.add_argument("--delete", type=int,
+                   help="number of characters to delete")
+    p.add_argument("--stego", action="store_true")
+    p.add_argument("--in-place", action="store_true",
+                   help="write the result back to INFILE")
+    p.add_argument("-o", "--output", default="-")
+    p.add_argument("infile")
+    p.set_defaults(func=cmd_edit)
+
+    p = sub.add_parser("inspect", help="show a wire document's metadata")
+    add_password(p)
+    p.add_argument("infile", nargs="?", default="-")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("demo", help="run the private-editing demo")
+    p.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Client-side application models: the editor buffer and the benign
+clients for each simulated service.  All clients are oblivious to the
+extension — they speak plaintext and never cooperate with the mediator.
+"""
+
+from repro.client.bespin_client import BespinClient
+from repro.client.buzzword_client import BuzzwordClient
+from repro.client.editor import EditorBuffer
+from repro.client.userjs_client import SelfEncryptingGDocsClient
+from repro.client.gdocs_client import CONFLICT_COMPLAINT, GDocsClient, SaveOutcome
+
+__all__ = [
+    "EditorBuffer",
+    "GDocsClient",
+    "SaveOutcome",
+    "CONFLICT_COMPLAINT",
+    "BespinClient",
+    "BuzzwordClient",
+    "SelfEncryptingGDocsClient",
+]

@@ -1,0 +1,39 @@
+"""The benign Bespin-like client: whole-file PUT on every save."""
+
+from __future__ import annotations
+
+from repro.client.editor import EditorBuffer
+from repro.errors import ProtocolError
+from repro.net.channel import Channel
+from repro.services import bespin
+
+__all__ = ["BespinClient"]
+
+
+class BespinClient:
+    """Edits one file in a Bespin project."""
+
+    def __init__(self, channel: Channel, path: str):
+        self._channel = channel
+        self.path = path
+        self.editor = EditorBuffer()
+
+    def open(self) -> str:
+        """Fetch the file (empty buffer when it does not exist yet)."""
+        response = self._channel.send(bespin.get_request(self.path))
+        if response.status == 404:
+            self.editor.resync("")
+        elif response.ok:
+            self.editor.resync(response.body)
+        else:
+            raise ProtocolError(f"open failed: {response.body}")
+        return self.editor.text
+
+    def save(self) -> None:
+        """PUT the whole buffer (Bespin has no incremental updates)."""
+        response = self._channel.send(
+            bespin.put_request(self.path, self.editor.text)
+        )
+        if not response.ok:
+            raise ProtocolError(f"save failed: {response.body}")
+        self.editor.mark_synced()

@@ -1,0 +1,42 @@
+"""The benign Buzzword-like client: whole-document XML POST per save.
+
+The document model is a list of paragraphs; every save serializes all
+of them into ``<textRun>`` elements inside one ``<doc>`` body.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.net.channel import Channel
+from repro.services import buzzword
+
+__all__ = ["BuzzwordClient"]
+
+
+class BuzzwordClient:
+    """Edits one Buzzword document."""
+
+    def __init__(self, channel: Channel, doc_id: str):
+        self._channel = channel
+        self.doc_id = doc_id
+        self.paragraphs: list[str] = []
+
+    def open(self) -> list[str]:
+        """Fetch the document's paragraphs (empty when new)."""
+        response = self._channel.send(buzzword.get_request(self.doc_id))
+        if response.status == 404:
+            self.paragraphs = []
+        elif response.ok:
+            self.paragraphs = buzzword.text_runs(response.body)
+        else:
+            raise ProtocolError(f"open failed: {response.body}")
+        return list(self.paragraphs)
+
+    def save(self) -> None:
+        """POST the whole document as XML."""
+        xml = buzzword.document_xml(self.paragraphs)
+        response = self._channel.send(
+            buzzword.post_request(self.doc_id, xml)
+        )
+        if not response.ok:
+            raise ProtocolError(f"save failed: {response.body}")

@@ -1,0 +1,94 @@
+"""The client-side editor model.
+
+Everything content-related in the target applications happens client
+side (that is the design property the whole approach rests on); the
+:class:`EditorBuffer` is that client state: the full plaintext, edit
+operations, and the delta computation that feeds incremental saves.
+
+Like the real client, the buffer derives each save's delta by comparing
+the current text against the text at the last successful save (Myers
+diff with a fallback), rather than journaling keystrokes — so any
+sequence of local edits collapses into one compact delta per autosave.
+"""
+
+from __future__ import annotations
+
+from repro.core.delta import Delta
+from repro.errors import DeltaApplicationError
+from repro.workloads.diff import derive_delta
+
+__all__ = ["EditorBuffer"]
+
+
+class EditorBuffer:
+    """Plaintext document state plus save-boundary tracking."""
+
+    def __init__(self, text: str = ""):
+        self._text = text
+        self._synced_text = text
+
+    # -- reading ------------------------------------------------------
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    def __len__(self) -> int:
+        return len(self._text)
+
+    @property
+    def synced_text(self) -> str:
+        """The text as of the last successful save."""
+        return self._synced_text
+
+    @property
+    def dirty(self) -> bool:
+        """Has the buffer changed since the last sync point?"""
+        return self._text != self._synced_text
+
+    # -- editing ------------------------------------------------------
+
+    def insert(self, pos: int, text: str) -> None:
+        """Insert ``text`` at ``pos``."""
+        if not 0 <= pos <= len(self._text):
+            raise DeltaApplicationError(
+                f"insert position {pos} outside [0, {len(self._text)}]"
+            )
+        self._text = self._text[:pos] + text + self._text[pos:]
+
+    def delete(self, pos: int, count: int) -> None:
+        """Delete ``count`` characters at ``pos``."""
+        if not 0 <= pos <= pos + count <= len(self._text):
+            raise DeltaApplicationError(
+                f"delete range [{pos}, {pos + count}) outside document"
+            )
+        self._text = self._text[:pos] + self._text[pos + count:]
+
+    def replace(self, pos: int, count: int, text: str) -> None:
+        """Replace ``count`` characters at ``pos`` with ``text``."""
+        self.delete(pos, count)
+        self.insert(pos, text)
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Apply a delta to the buffer."""
+        self._text = delta.apply(self._text)
+
+    def set_text(self, text: str) -> None:
+        """Replace the whole text, keeping the last sync point (so the
+        change is included in the next pending delta)."""
+        self._text = text
+
+    # -- save-boundary bookkeeping --------------------------------------
+
+    def pending_delta(self) -> Delta:
+        """The delta from the last sync point to the current text."""
+        return derive_delta(self._synced_text, self._text)
+
+    def mark_synced(self) -> None:
+        """Record that the current text reached the server."""
+        self._synced_text = self._text
+
+    def resync(self, text: str) -> None:
+        """Adopt authoritative content (conflict recovery)."""
+        self._text = text
+        self._synced_text = text

@@ -1,0 +1,225 @@
+"""The benign Google-Documents-like client.
+
+Implements the client half of the SIV-A protocol: open an edit session,
+send the session's first save as a full ``docContents`` POST, send every
+later save as a ``delta``, and interpret Acks — including the
+``contentFromServer(Hash)`` consistency check whose neutralization by
+the extension produces the paper's partially-functional collaboration.
+
+The client is oblivious to the extension: it always operates on
+plaintext and never knows whether a mediator rewrote its traffic.  That
+obliviousness is requirement 2 of the paper ("requires no cooperation
+from the application provider").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.client.editor import EditorBuffer
+from repro.core.delta import Delta
+from repro.errors import ProtocolError, SessionError
+from repro.net.channel import Channel
+from repro.services.gdocs import protocol
+
+__all__ = ["GDocsClient", "SaveOutcome"]
+
+#: the user-visible complaint the paper reports during concurrent edits
+CONFLICT_COMPLAINT = "multiple people editing the same region"
+
+
+@dataclass
+class SaveOutcome:
+    """What one save attempt did, for tests and benchmarks."""
+
+    kind: str              #: "full" | "delta" | "noop"
+    ack: protocol.Ack | None = None
+    conflict: bool = False
+    complaints: list[str] = field(default_factory=list)
+
+
+class GDocsClient:
+    """One user's editing client for one document."""
+
+    def __init__(self, channel: Channel, doc_id: str):
+        self._channel = channel
+        self.doc_id = doc_id
+        self.editor = EditorBuffer()
+        self._sid: str | None = None
+        self._rev = -1
+        self._did_full_save = False
+        self.complaints: list[str] = []
+
+    # -- session -----------------------------------------------------------
+
+    @property
+    def in_session(self) -> bool:
+        return self._sid is not None
+
+    @property
+    def revision(self) -> int:
+        return self._rev
+
+    def open(self) -> str:
+        """Open (or create) the document; returns its current text."""
+        response = self._channel.send(protocol.open_request(self.doc_id))
+        if not response.ok:
+            raise ProtocolError(f"open failed: {response.body}")
+        fields = response.form
+        self._sid = fields[protocol.F_SID]
+        self._rev = int(fields[protocol.A_REV])
+        self._did_full_save = False
+        self.editor.resync(fields.get(protocol.A_CONTENT, ""))
+        return self.editor.text
+
+    def close(self) -> None:
+        """End the session (a final save, then forget the sid)."""
+        if self.editor.dirty:
+            self.save()
+        self._sid = None
+
+    # -- editing sugar ----------------------------------------------------
+
+    def type_text(self, pos: int, text: str) -> None:
+        """User action: insert ``text`` at ``pos``."""
+        self.editor.insert(pos, text)
+
+    def delete_text(self, pos: int, count: int) -> None:
+        """User action: delete ``count`` characters at ``pos``."""
+        self.editor.delete(pos, count)
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Apply a scripted edit to the local buffer."""
+        self.editor.apply_delta(delta)
+
+    # -- saving ------------------------------------------------------------
+
+    def save(self) -> SaveOutcome:
+        """Autosave: full on the session's first save, delta afterwards."""
+        if self._sid is None:
+            raise SessionError("save outside an edit session")
+        if self._did_full_save and not self.editor.dirty:
+            return SaveOutcome(kind="noop")
+
+        if not self._did_full_save:
+            request = protocol.full_save_request(
+                self.doc_id, self._sid, self._rev, self.editor.text
+            )
+            kind = "full"
+        else:
+            request = protocol.delta_save_request(
+                self.doc_id, self._sid, self._rev,
+                self.editor.pending_delta().serialize(),
+            )
+            kind = "delta"
+
+        response = self._channel.send(request)
+        if not response.ok:
+            # Recover conservatively: the server's state is unknown, so
+            # the next save re-sends the whole document (which also lets
+            # a mediating extension rebuild its ciphertext mirror).
+            self._did_full_save = False
+            raise ProtocolError(f"save failed: {response.body}")
+        ack = protocol.Ack.from_response(response)
+        outcome = SaveOutcome(kind=kind, ack=ack, conflict=ack.conflict)
+
+        if ack.conflict:
+            self._handle_conflict(ack, outcome)
+        elif ack.merged:
+            # The server transformed this delta past concurrent edits
+            # and echoed the merged result: adopt it silently (the
+            # collaboration behaviour of the real client).
+            self._rev = ack.rev
+            self._did_full_save = True
+            if ack.content_from_server:
+                self.editor.resync(ack.content_from_server)
+            else:
+                self.editor.mark_synced()
+        else:
+            self._rev = ack.rev
+            self._did_full_save = True
+            self.editor.mark_synced()
+            self._check_consistency(ack, outcome)
+        return outcome
+
+    def _handle_conflict(self, ack: protocol.Ack,
+                         outcome: SaveOutcome) -> None:
+        """Resync from the server's authoritative content when it is
+        available; otherwise (the extension blanked it) complain exactly
+        as the paper observed."""
+        if ack.content_from_server:
+            self.editor.resync(ack.content_from_server)
+            self._rev = ack.rev
+        else:
+            complaint = CONFLICT_COMPLAINT
+            self.complaints.append(complaint)
+            outcome.complaints.append(complaint)
+            # Recover by re-entering the full-save path next time.
+            self._did_full_save = False
+            self._rev = ack.rev
+
+    def _check_consistency(self, ack: protocol.Ack,
+                           outcome: SaveOutcome) -> None:
+        """The contentFromServerHash check.
+
+        A neutral hash ("0") carries no information and is skipped —
+        the behaviour the paper relied on when blanking these fields.
+        """
+        if ack.content_from_server_hash == protocol.NEUTRAL_HASH:
+            return
+        if ack.content_from_server_hash != protocol.content_hash(
+            self.editor.text
+        ):
+            complaint = "local text diverged from server content"
+            self.complaints.append(complaint)
+            outcome.complaints.append(complaint)
+            if ack.content_from_server:
+                self.editor.resync(ack.content_from_server)
+
+    # -- read-only refresh (the passive collaborator) ------------------
+
+    def refresh(self) -> str:
+        """Fetch current content outside the save path (passive reader)."""
+        response = self._channel.send(protocol.fetch_request(self.doc_id))
+        if not response.ok:
+            raise ProtocolError(f"refresh failed: {response.body}")
+        self.editor.resync(response.body)
+        self._rev = int(response.headers.get(protocol.A_REV, self._rev))
+        return self.editor.text
+
+    # -- server-side features (will be blocked under the extension) ------
+
+    def spellcheck(self) -> str:
+        """Server-side spell check (blocked under the extension)."""
+        response = self._channel.send(
+            protocol.feature_request(self.doc_id, "spellcheck")
+        )
+        return response.form.get("misspelled", "")
+
+    def translate(self) -> str:
+        """Server-side translation (blocked under the extension)."""
+        response = self._channel.send(
+            protocol.feature_request(self.doc_id, "translate")
+        )
+        return response.body
+
+    def export(self) -> str:
+        """Server-side document export (blocked under the extension)."""
+        response = self._channel.send(
+            protocol.feature_request(self.doc_id, "export")
+        )
+        return response.body
+
+    def draw(self, primitives: str) -> str:
+        """Server-side drawing rendering (blocked under the extension)."""
+        response = self._channel.send(
+            protocol.feature_request(self.doc_id, "drawing",
+                                     primitives=primitives)
+        )
+        return response.body
+
+    # -- client-side features (keep working under the extension) ----------
+
+    def word_count(self) -> int:
+        """Client-side feature: operates on local plaintext only."""
+        return len(self.editor.text.split())

@@ -1,0 +1,200 @@
+"""Incremental MACs and the substitution attack (SV-A, made concrete).
+
+The paper surveys incremental *authentication* before settling on
+authenticated encryption: "the hash-then-sign [2] and XOR [3] schemes
+are all subject to substitution attacks.  On the other hand, IncXMACC
+[15] and the hash tree [3] schemes achieve true tamperproofing but at
+the cost of O(n) size of signature, [or] O(log n) time complexity."
+This module implements both sides of that sentence so the claim is
+executable:
+
+* :class:`XorIncrementalMac` — the XOR scheme: the tag is the XOR of a
+  PRF applied to every ``(position, block)`` pair, giving **O(1)**
+  replace-updates... and exactly the substitution weakness: a server
+  that watched an update of position *i* from block *a* to block *b*
+  learns ``F(i,a) XOR F(i,b)`` from the two tags, and can thereafter
+  swap *b* back to *a* and "fix" any future tag
+  (:func:`substitution_forgery`).
+* :class:`MerkleIncrementalMac` — the hash-tree scheme: a Merkle tree
+  over the blocks with a keyed MAC on the root.  Updates cost
+  **O(log n)**, and the same attack fails because tag differences are
+  not position-local XORs.
+
+Both are *integrity-only* tools over block sequences — study objects
+for why the main library pairs integrity with encryption (RPC mode)
+instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.crypto.blockcipher import AesCipher
+from repro.errors import IntegrityError
+
+__all__ = [
+    "XorIncrementalMac",
+    "MerkleIncrementalMac",
+    "ObservedUpdatePair",
+    "substitution_forgery",
+]
+
+_BLOCK_BYTES = 8
+
+
+def _check_block(block: bytes) -> bytes:
+    if len(block) != _BLOCK_BYTES:
+        raise IntegrityError(
+            f"MAC blocks are {_BLOCK_BYTES} bytes, got {len(block)}"
+        )
+    return block
+
+
+class XorIncrementalMac:
+    """The XOR incremental MAC (replace-updates in O(1)).
+
+    ``tag(M) = XOR_i F_k(i || m_i)`` with ``F_k`` = AES.  Replacing
+    block *i* updates the tag with two PRF calls.  Deliberately
+    reproduces the scheme's substitution weakness — do not use for
+    anything but study.
+    """
+
+    def __init__(self, key: bytes):
+        self._cipher = AesCipher(key)
+
+    def _term(self, index: int, block: bytes) -> bytes:
+        material = index.to_bytes(8, "big") + _check_block(block)
+        return self._cipher.encrypt_block(material)
+
+    def tag(self, blocks: list[bytes]) -> bytes:
+        """MAC the whole block sequence (XOR of per-position PRF terms)."""
+        out = bytes(16)
+        for index, block in enumerate(blocks):
+            term = self._term(index, block)
+            out = bytes(a ^ b for a, b in zip(out, term))
+        return out
+
+    def update(self, tag: bytes, index: int, old: bytes,
+               new: bytes) -> bytes:
+        """O(1) replace-update: XOR out the old term, XOR in the new."""
+        delta = bytes(
+            a ^ b for a, b in zip(self._term(index, old),
+                                  self._term(index, new))
+        )
+        return bytes(a ^ b for a, b in zip(tag, delta))
+
+    def verify(self, blocks: list[bytes], tag: bytes) -> None:
+        """Recompute and compare; raises IntegrityError on mismatch."""
+        if self.tag(blocks) != tag:
+            raise IntegrityError("XOR MAC verification failed")
+
+
+class ObservedUpdatePair:
+    """What a curious server learns from one replace-update: the two
+    tags bracketing it plus the (position, ciphertext-block) values —
+    all of which cross the wire."""
+
+    def __init__(self, index: int, old_block: bytes, new_block: bytes,
+                 old_tag: bytes, new_tag: bytes):
+        self.index = index
+        self.old_block = old_block
+        self.new_block = new_block
+        #: F(i, old) XOR F(i, new) — recovered without knowing the key!
+        self.term_delta = bytes(
+            a ^ b for a, b in zip(old_tag, new_tag)
+        )
+
+
+def substitution_forgery(
+    blocks: list[bytes],
+    tag: bytes,
+    observed: ObservedUpdatePair,
+) -> tuple[list[bytes], bytes]:
+    """The substitution attack against :class:`XorIncrementalMac`.
+
+    Given a current ``(blocks, tag)`` pair in which position
+    ``observed.index`` holds ``observed.new_block``, substitute the
+    *old* block back and emit the forged tag — using only values the
+    server observed, never the key.
+    """
+    index = observed.index
+    if blocks[index] != observed.new_block:
+        raise IntegrityError(
+            "forgery requires the observed new block at the position"
+        )
+    forged_blocks = list(blocks)
+    forged_blocks[index] = observed.old_block
+    forged_tag = bytes(a ^ b for a, b in zip(tag, observed.term_delta))
+    return forged_blocks, forged_tag
+
+
+class MerkleIncrementalMac:
+    """Hash-tree incremental MAC: O(log n) updates, substitution-proof.
+
+    A binary Merkle tree over the blocks (position-bound leaf hashes),
+    with the root authenticated by HMAC-SHA256.  Kept simple: the tree
+    supports ``replace`` on a fixed-length block sequence, which is the
+    exact setting of the substitution-attack comparison.
+    """
+
+    def __init__(self, key: bytes, blocks: list[bytes]):
+        self._key = key
+        self._n = len(blocks)
+        self._levels: list[list[bytes]] = []
+        leaves = [
+            self._leaf(i, block) for i, block in enumerate(blocks)
+        ]
+        self._levels.append(leaves)
+        while len(self._levels[-1]) > 1:
+            prev = self._levels[-1]
+            self._levels.append([
+                self._node(prev[i], prev[i + 1] if i + 1 < len(prev)
+                           else prev[i])
+                for i in range(0, len(prev), 2)
+            ])
+
+    def _leaf(self, index: int, block: bytes) -> bytes:
+        return hashlib.sha256(
+            b"leaf" + index.to_bytes(8, "big") + _check_block(block)
+        ).digest()
+
+    def _node(self, left: bytes, right: bytes) -> bytes:
+        return hashlib.sha256(b"node" + left + right).digest()
+
+    @property
+    def root(self) -> bytes:
+        if not self._levels[0]:
+            return hashlib.sha256(b"empty").digest()
+        return self._levels[-1][0]
+
+    def tag(self) -> bytes:
+        """The MAC: HMAC over the Merkle root (plus the length)."""
+        return hmac.new(
+            self._key,
+            self.root + self._n.to_bytes(8, "big"),
+            hashlib.sha256,
+        ).digest()
+
+    def replace(self, index: int, new_block: bytes) -> bytes:
+        """O(log n): rehash the leaf-to-root path; return the new tag."""
+        if not 0 <= index < self._n:
+            raise IndexError(f"block index {index} out of range")
+        self._levels[0][index] = self._leaf(index, new_block)
+        pos = index
+        for level in range(len(self._levels) - 1):
+            parent = pos // 2
+            row = self._levels[level]
+            left = row[2 * parent]
+            right = (
+                row[2 * parent + 1]
+                if 2 * parent + 1 < len(row) else row[2 * parent]
+            )
+            self._levels[level + 1][parent] = self._node(left, right)
+            pos = parent
+        return self.tag()
+
+    @classmethod
+    def verify(cls, key: bytes, blocks: list[bytes], tag: bytes) -> None:
+        if not hmac.compare_digest(cls(key, blocks).tag(), tag):
+            raise IntegrityError("hash-tree MAC verification failed")

@@ -1,0 +1,60 @@
+"""Per-document keys derived from user passwords (SII, SIV-C).
+
+The prototype had users control security "using per-document passwords";
+the document key is derived from the password with PBKDF2-HMAC-SHA256
+over a per-document random salt.  The salt travels in the plaintext
+document header (:class:`repro.encoding.wire.DocumentHeader`) — it is
+not secret — so anyone who knows the password can open a shared
+document, which is exactly the paper's sharing story (share the Google
+document, share the password over another channel).
+
+Password quality and establishment are explicitly out of the paper's
+scope; iteration count is configurable and deliberately modest by
+default so the test suite stays fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.random import RandomSource, SystemRandomSource
+from repro.errors import PasswordError
+
+#: default PBKDF2 iteration count (kept modest; a deployment would raise it)
+DEFAULT_ITERATIONS = 5000
+
+SALT_BYTES = 10  # encodes to 16 base32 chars in the document header
+KEY_BYTES = 16   # AES-128, matching the paper's 2^128 key-search claim
+
+
+@dataclass(frozen=True)
+class KeyMaterial:
+    """A document key together with the salt that produced it."""
+
+    key: bytes
+    salt: bytes
+    iterations: int = DEFAULT_ITERATIONS
+
+    @classmethod
+    def from_password(
+        cls,
+        password: str,
+        salt: bytes | None = None,
+        iterations: int = DEFAULT_ITERATIONS,
+        rng: RandomSource | None = None,
+    ) -> "KeyMaterial":
+        """Derive key material, generating a fresh salt if none given."""
+        if not password:
+            raise PasswordError("password must be non-empty")
+        if salt is None:
+            salt = (rng or SystemRandomSource()).token(SALT_BYTES)
+        key = hashlib.pbkdf2_hmac(
+            "sha256", password.encode("utf-8"), salt, iterations, KEY_BYTES
+        )
+        return cls(key=key, salt=salt, iterations=iterations)
+
+    def check(self, other_key: bytes) -> bool:
+        """Constant-time key comparison."""
+        return hmac.compare_digest(self.key, other_key)

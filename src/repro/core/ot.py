@@ -1,0 +1,228 @@
+"""Operational transformation for the delta language.
+
+The real 2011 Google Documents server *merged* concurrent edits rather
+than rejecting them — the ``contentFromServerHash`` machinery the paper
+reverse-engineered is the client side of that merge.  This module
+implements the server side: classic operational transformation over the
+``=n / +str / -n`` language.
+
+:func:`transform` rewrites delta ``a`` so it applies *after* a
+concurrent delta ``b`` (both originally based on the same document),
+preserving ``a``'s intent.  It satisfies the convergence property TP1::
+
+    b.then(transform(a, b, "right")) == a.then(transform(b, a, "left"))
+
+i.e. both interleavings produce the same document (property-tested in
+``tests/property/test_prop_ot.py``).  ``priority`` breaks the tie when
+both deltas insert at the same spot: the "left" delta's insertion ends
+up first.
+
+Used by ``GDocsServer(merge_concurrent=True)`` to reproduce merging
+collaboration — which works transparently for plaintext clients,
+partially for rECB ciphertext (the server can merge record-aligned
+cdeltas it cannot read!), and is structurally incompatible with RPC's
+document-wide checksum (each client's checksum patch knows nothing of
+the other's edits) — quantifying SVII-A's "partially functional"
+collaboration story from the other side.
+"""
+
+from __future__ import annotations
+
+from repro.core.delta import Delete, Delta, DeltaOp, Insert, Retain
+
+__all__ = ["transform", "compose"]
+
+
+class _OpStream:
+    """Consumable view of a delta's ops, splitting retains/deletes."""
+
+    def __init__(self, delta: Delta):
+        self._ops = list(delta.ops)
+        self._index = 0
+        self._offset = 0  # consumed prefix of the current retain/delete
+
+    def peek(self) -> DeltaOp | None:
+        if self._index >= len(self._ops):
+            return None
+        op = self._ops[self._index]
+        if isinstance(op, Insert):
+            return op
+        remaining = op.count - self._offset
+        return type(op)(remaining)
+
+    def take_insert(self) -> Insert:
+        op = self._ops[self._index]
+        assert isinstance(op, Insert)
+        self._index += 1
+        return op
+
+    def consume(self, count: int) -> None:
+        """Consume ``count`` units of the current retain/delete."""
+        op = self._ops[self._index]
+        assert isinstance(op, (Retain, Delete))
+        self._offset += count
+        if self._offset == op.count:
+            self._index += 1
+            self._offset = 0
+        elif self._offset > op.count:
+            raise AssertionError("over-consumed an op")
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._ops)
+
+
+def _emit(out: list[DeltaOp], op_type: type, amount) -> None:
+    """Append, merging with a preceding op of the same type."""
+    if op_type is Insert:
+        if out and isinstance(out[-1], Insert):
+            out[-1] = Insert(out[-1].text + amount)
+        elif amount:
+            out.append(Insert(amount))
+        return
+    if amount <= 0:
+        return
+    if out and isinstance(out[-1], op_type):
+        out[-1] = op_type(out[-1].count + amount)
+    else:
+        out.append(op_type(amount))
+
+
+def transform(a: Delta, b: Delta, priority: str = "left") -> Delta:
+    """Rewrite ``a`` to apply after concurrent ``b``.
+
+    ``priority`` is ``"left"`` when ``a``'s insertions should land
+    before ``b``'s at equal positions, ``"right"`` otherwise.
+    """
+    if priority not in ("left", "right"):
+        raise ValueError(f"priority must be left/right, got {priority!r}")
+    sa = _OpStream(a)
+    sb = _OpStream(b)
+    out: list[DeltaOp] = []
+
+    while True:
+        op_a = sa.peek()
+        op_b = sb.peek()
+        if op_a is None and op_b is None:
+            break
+
+        if isinstance(op_a, Insert) and isinstance(op_b, Insert):
+            if priority == "left":
+                _emit(out, Insert, sa.take_insert().text)
+            else:
+                _emit(out, Retain, len(sb.take_insert().text))
+            continue
+        if isinstance(op_a, Insert):
+            _emit(out, Insert, sa.take_insert().text)
+            continue
+        if isinstance(op_b, Insert):
+            # text b inserted: a must step over it
+            _emit(out, Retain, len(sb.take_insert().text))
+            continue
+
+        if op_a is None:
+            # a implicitly retains the rest of the document
+            if isinstance(op_b, Retain):
+                _emit(out, Retain, op_b.count)
+            sb.consume(op_b.count)
+            continue
+        if op_b is None:
+            # b implicitly retains: a's op passes through
+            if isinstance(op_a, Retain):
+                _emit(out, Retain, op_a.count)
+            else:
+                _emit(out, Delete, op_a.count)
+            sa.consume(op_a.count)
+            continue
+
+        count = min(op_a.count, op_b.count)
+        if isinstance(op_a, Retain) and isinstance(op_b, Retain):
+            _emit(out, Retain, count)
+        elif isinstance(op_a, Retain) and isinstance(op_b, Delete):
+            pass  # those characters no longer exist
+        elif isinstance(op_a, Delete) and isinstance(op_b, Retain):
+            _emit(out, Delete, count)
+        else:  # both deleted the same characters
+            pass
+        sa.consume(count)
+        sb.consume(count)
+
+    # drop a trailing pure retain (canonical form)
+    while out and isinstance(out[-1], Retain):
+        out.pop()
+    return Delta(out)
+
+
+def compose(first: Delta, second: Delta) -> Delta:
+    """One delta equivalent to applying ``first`` then ``second``.
+
+    Used by the merging server to fold a chain of concurrent updates
+    into a single transform target.
+    """
+    sf = _OpStream(first)
+    ss = _OpStream(second)
+    out: list[DeltaOp] = []
+
+    while True:
+        op_f = sf.peek()
+        op_s = ss.peek()
+        if op_f is None and op_s is None:
+            break
+
+        # second's deletes/retains consume FIRST'S OUTPUT; second's
+        # inserts are independent of it.
+        if isinstance(op_s, Insert):
+            _emit(out, Insert, ss.take_insert().text)
+            continue
+        if op_f is None:
+            if op_s is None:
+                break
+            # first implicitly retains source; second consumes it
+            if isinstance(op_s, Retain):
+                _emit(out, Retain, op_s.count)
+            else:
+                _emit(out, Delete, op_s.count)
+            ss.consume(op_s.count)
+            continue
+        if isinstance(op_f, Delete):
+            # deleted source chars never reach second
+            _emit(out, Delete, op_f.count)
+            sf.consume(op_f.count)
+            continue
+        if op_s is None:
+            # second implicitly retains the rest of first's output
+            if isinstance(op_f, Retain):
+                _emit(out, Retain, op_f.count)
+            else:
+                _emit(out, Insert, op_f.text)
+                sf.take_insert()
+                continue
+            sf.consume(op_f.count)
+            continue
+
+        if isinstance(op_f, Insert):
+            produced = len(op_f.text)
+            count = min(produced, op_s.count)
+            if isinstance(op_s, Retain):
+                _emit(out, Insert, op_f.text[:count])
+            # else: second deleted text first inserted -> emit nothing
+            remainder = op_f.text[count:]
+            sf.take_insert()
+            if remainder:
+                # push back the un-consumed tail of the insert
+                sf._ops.insert(sf._index, Insert(remainder))
+            ss.consume(count)
+            continue
+
+        # first retains: passes source through to second
+        count = min(op_f.count, op_s.count)
+        if isinstance(op_s, Retain):
+            _emit(out, Retain, count)
+        else:
+            _emit(out, Delete, count)
+        sf.consume(count)
+        ss.consume(count)
+
+    while out and isinstance(out[-1], Retain):
+        out.pop()
+    return Delta(out)

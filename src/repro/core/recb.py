@@ -1,0 +1,135 @@
+"""rECB: randomized ECB incremental encryption (confidentiality only).
+
+Following SV-B, the ciphertext of a document ``d1 … dn`` is::
+
+    F_sk(r0), F_sk(r0 xor r1 || r1 xor d1), ..., F_sk(r0 xor rn || rn xor dn)
+
+where every ``ri`` is a fresh 64-bit nonce and ``F_sk`` is AES.  Each
+data block is independent given ``r0``:
+
+* random access — decrypting character block ``k`` needs only the first
+  record (for ``r0``) and record ``k``;
+* ideal incremental updates — insert/delete/replace touches exactly the
+  affected records, nothing is re-chained.
+
+The price is integrity: nothing ties blocks together, so an active
+server can replicate, reorder or drop records undetected (demonstrated
+in :mod:`repro.security.attacks`; RPC mode is the answer).
+
+Block layout (big-endian), one AES block per data record::
+
+    [ r0 xor ri : 8 bytes ][ ri xor pad8(chunk) : 8 bytes ]
+
+and the bookkeeping record 0 is ``F_sk(r0 || 0^64)``; the zero half
+doubles as a cheap wrong-password check, since rECB decryption has no
+integrity to fail on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import blocks
+from repro.core.nonces import RECB_NONCE_BYTES, draw_nonces, xor_bytes
+from repro.core.scheme import BlockCodec
+from repro.encoding.wire import Record
+from repro.errors import CiphertextFormatError, DecryptionError
+
+__all__ = ["RecbCodec", "RecbState"]
+
+
+@dataclass
+class RecbState:
+    """Per-document rECB state: just the document nonce ``r0``."""
+
+    r0: bytes
+
+
+class RecbCodec(BlockCodec):
+    """Block codec for rECB mode."""
+
+    name = "recb"
+    supports_integrity = False
+    prefix_records = 1
+    suffix_records = 0
+    nonce_bits = RECB_NONCE_BYTES * 8
+
+    # -- document bookkeeping ----------------------------------------
+
+    def fresh_state(self) -> RecbState:
+        """Draw a fresh document nonce ``r0``."""
+        return RecbState(r0=self._rng.token(RECB_NONCE_BYTES))
+
+    def prefix(self, state: RecbState, first_lead: bytes | None = None) -> list[Record]:
+        """The bookkeeping record ``F(r0 || 0^64)``."""
+        block = self._cipher.encrypt_block(state.r0 + bytes(8))
+        return [Record(char_count=0, block=block)]
+
+    def suffix(self, state: RecbState) -> list[Record]:
+        """rECB has no suffix records."""
+        return []
+
+    def parse_prefix(self, record: Record) -> RecbState:
+        """Recover ``r0``; detects a wrong key via the zero half."""
+        plain = self._cipher.decrypt_block(record.block)
+        if plain[8:] != bytes(8):
+            raise DecryptionError(
+                "r0 record failed its zero-pad check (wrong password or "
+                "corrupted ciphertext)"
+            )
+        return RecbState(r0=plain[:8])
+
+    # -- data records ---------------------------------------------------
+
+    def encrypt_chunks(self, state: RecbState, chunks: list[str]) -> list[Record]:
+        """Encrypt ``chunks`` into data records (batched AES)."""
+        if not chunks:
+            return []
+        nonces = draw_nonces(self._rng, len(chunks), RECB_NONCE_BYTES)
+        plain = bytearray()
+        for nonce, chunk in zip(nonces, chunks):
+            plain += xor_bytes(state.r0, nonce)
+            plain += xor_bytes(nonce, blocks.pack_chars(chunk))
+        encrypted = self._cipher.encrypt_many(bytes(plain))
+        return [
+            Record(
+                char_count=len(chunk),
+                block=encrypted[16 * i : 16 * (i + 1)],
+            )
+            for i, chunk in enumerate(chunks)
+        ]
+
+    def decrypt_record(self, state: RecbState, record: Record) -> str:
+        """Decrypt one data record (the random-access path)."""
+        plain = self._cipher.decrypt_block(record.block)
+        return self._payload_to_chunk(state, plain, record.char_count)
+
+    def decrypt_records(self, state: RecbState, records: list[Record]) -> list[str]:
+        """Decrypt all data records (batched AES)."""
+        if not records:
+            return []
+        blob = self._cipher.decrypt_many(b"".join(r.block for r in records))
+        return [
+            self._payload_to_chunk(
+                state, blob[16 * i : 16 * (i + 1)], record.char_count
+            )
+            for i, record in enumerate(records)
+        ]
+
+    def _payload_to_chunk(self, state: RecbState, plain: bytes,
+                          char_count: int) -> str:
+        nonce = xor_bytes(plain[:8], state.r0)
+        payload = xor_bytes(plain[8:], nonce)
+        try:
+            chunk = blocks.unpack_chars(payload)
+        except UnicodeDecodeError:
+            raise DecryptionError(
+                "data block decodes to invalid UTF-8 (wrong password or "
+                "corrupted ciphertext)"
+            ) from None
+        if len(chunk) != char_count:
+            raise CiphertextFormatError(
+                f"record header claims {char_count} chars, payload holds "
+                f"{len(chunk)}"
+            )
+        return chunk

@@ -1,0 +1,73 @@
+"""Index structures for variable-length encrypted blocks.
+
+:class:`IndexedSkipList` is the paper's data structure (SV-C);
+:class:`IndexedAVL` is the deterministic balanced-tree variant the paper
+sketches; :class:`ReferenceIndex` is the O(n) oracle used by tests and
+ablation baselines.  All three implement the same interface — the
+``BlockIndex`` protocol — so the encrypted-document layer is generic
+over them.
+"""
+
+from typing import Any, Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.datastructures.indexed_avl import IndexedAVL
+from repro.datastructures.indexed_skiplist import IndexedSkipList
+from repro.datastructures.reference import ReferenceIndex
+
+
+@runtime_checkable
+class BlockIndex(Protocol):
+    """Sequence of ``(value, width)`` blocks searchable by char index."""
+
+    def __len__(self) -> int:  # pragma: no cover
+        """Number of blocks."""
+        ...
+
+    @property
+    def total_chars(self) -> int:  # pragma: no cover
+        """Total characters across all blocks."""
+        ...
+
+    def find_char(self, index: int) -> tuple[int, int]:  # pragma: no cover
+        """Locate the block containing character ``index`` as
+        ``(rank, offset)``."""
+        ...
+
+    def get(self, rank: int) -> tuple[Any, int]:  # pragma: no cover
+        """Return ``(value, width)`` of the block with ordinal ``rank``."""
+        ...
+
+    def char_start(self, rank: int) -> int:  # pragma: no cover
+        """First character position covered by block ``rank``."""
+        ...
+
+    def insert(self, rank: int, value: Any, width: int) -> None:  # pragma: no cover
+        """Insert a block so that it acquires ordinal ``rank``."""
+        ...
+
+    def extend(self, items: Iterable[tuple[Any, int]]) -> None:  # pragma: no cover
+        """Append blocks at the end (bulk build)."""
+        ...
+
+    def delete(self, rank: int) -> tuple[Any, int]:  # pragma: no cover
+        """Remove block ``rank``; return its ``(value, width)``."""
+        ...
+
+    def replace(self, rank: int, value: Any, width: int) -> None:  # pragma: no cover
+        """Swap block ``rank``'s payload and width in place."""
+        ...
+
+    def items(self) -> Iterator[tuple[Any, int]]:  # pragma: no cover
+        """Yield ``(value, width)`` for every block in order."""
+        ...
+
+    def values(self) -> Iterator[Any]:  # pragma: no cover
+        """Yield every block value in order."""
+        ...
+
+    def checkrep(self) -> None:  # pragma: no cover
+        """Validate structural invariants (property-test hook)."""
+        ...
+
+
+__all__ = ["BlockIndex", "IndexedSkipList", "IndexedAVL", "ReferenceIndex"]

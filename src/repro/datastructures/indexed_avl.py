@@ -1,0 +1,322 @@
+"""IndexedAVL: deterministic alternative to the IndexedSkipList.
+
+The paper notes (SV-C) that "the idea of indexing could also be applied
+to any of the well-known balanced tree data structures (e.g., AVL tree,
+2-3 tree, etc.) to develop a similar non-probabilistic data structure."
+This module realizes that remark: an AVL tree whose nodes aggregate
+subtree element counts and character widths, giving worst-case
+``O(log n)`` find-by-character-index, insert, delete, and width update.
+
+It implements the same interface as
+:class:`repro.datastructures.indexed_skiplist.IndexedSkipList`, so the
+encrypted-document layer can run on either (``bench_ablation_structures``
+compares them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import DataStructureError
+
+__all__ = ["IndexedAVL"]
+
+
+class _Node:
+    __slots__ = ("value", "width", "left", "right", "height",
+                 "sub_elems", "sub_chars")
+
+    def __init__(self, value: Any, width: int):
+        self.value = value
+        self.width = width
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.height = 1
+        self.sub_elems = 1
+        self.sub_chars = width
+
+
+def _h(node: _Node | None) -> int:
+    return node.height if node is not None else 0
+
+
+def _elems(node: _Node | None) -> int:
+    return node.sub_elems if node is not None else 0
+
+
+def _chars(node: _Node | None) -> int:
+    return node.sub_chars if node is not None else 0
+
+
+def _refresh(node: _Node) -> None:
+    node.height = 1 + max(_h(node.left), _h(node.right))
+    node.sub_elems = 1 + _elems(node.left) + _elems(node.right)
+    node.sub_chars = node.width + _chars(node.left) + _chars(node.right)
+
+
+def _rotate_right(y: _Node) -> _Node:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _refresh(y)
+    _refresh(x)
+    return x
+
+
+def _rotate_left(x: _Node) -> _Node:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _refresh(x)
+    _refresh(y)
+    return y
+
+
+def _balance(node: _Node) -> _Node:
+    _refresh(node)
+    bal = _h(node.left) - _h(node.right)
+    if bal > 1:
+        assert node.left is not None
+        if _h(node.left.left) < _h(node.left.right):
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if bal < -1:
+        assert node.right is not None
+        if _h(node.right.right) < _h(node.right.left):
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+def _build_balanced(items: list, lo: int, hi: int) -> _Node | None:
+    """Build a perfectly balanced subtree over items[lo:hi]."""
+    if lo >= hi:
+        return None
+    mid = (lo + hi) // 2
+    value, width = items[mid]
+    node = _Node(value, width)
+    node.left = _build_balanced(items, lo, mid)
+    node.right = _build_balanced(items, mid + 1, hi)
+    _refresh(node)
+    return node
+
+
+class IndexedAVL:
+    """Order-statistic AVL over ``(value, width)`` blocks."""
+
+    def __init__(self) -> None:
+        self._root: _Node | None = None
+
+    def __len__(self) -> int:
+        return _elems(self._root)
+
+    @property
+    def total_chars(self) -> int:
+        return _chars(self._root)
+
+    # -- queries ------------------------------------------------------
+
+    def find_char(self, index: int) -> tuple[int, int]:
+        """Locate the block containing character ``index``.
+
+        Returns ``(rank, offset)`` exactly like the skip list.
+        """
+        if not 0 <= index < self.total_chars:
+            raise IndexError(
+                f"char index {index} out of range [0, {self.total_chars})"
+            )
+        node = self._root
+        rank = 0
+        while node is not None:
+            left_chars = _chars(node.left)
+            if index < left_chars:
+                node = node.left
+            elif index < left_chars + node.width:
+                return rank + _elems(node.left), index - left_chars
+            else:
+                rank += _elems(node.left) + 1
+                index -= left_chars + node.width
+                node = node.right
+        raise DataStructureError("find_char fell off the tree")
+
+    def _node_at(self, rank: int) -> _Node:
+        if not 0 <= rank < len(self):
+            raise IndexError(f"rank {rank} out of range [0, {len(self)})")
+        node = self._root
+        while node is not None:
+            left = _elems(node.left)
+            if rank < left:
+                node = node.left
+            elif rank == left:
+                return node
+            else:
+                rank -= left + 1
+                node = node.right
+        raise DataStructureError("_node_at fell off the tree")
+
+    def get(self, rank: int) -> tuple[Any, int]:
+        """Return ``(value, width)`` of the block with ordinal ``rank``."""
+        node = self._node_at(rank)
+        return node.value, node.width
+
+    def char_start(self, rank: int) -> int:
+        """First character position covered by block ``rank``."""
+        if not 0 <= rank <= len(self):
+            raise IndexError(f"rank {rank} out of range [0, {len(self)}]")
+        if rank == len(self):
+            return self.total_chars
+        node = self._root
+        start = 0
+        while node is not None:
+            left = _elems(node.left)
+            if rank < left:
+                node = node.left
+            elif rank == left:
+                return start + _chars(node.left)
+            else:
+                start += _chars(node.left) + node.width
+                rank -= left + 1
+                node = node.right
+        raise DataStructureError("char_start fell off the tree")
+
+    # -- mutations ------------------------------------------------------
+
+    def insert(self, rank: int, value: Any, width: int) -> None:
+        """Insert a block so that it acquires ordinal ``rank``."""
+        if width < 0:
+            raise DataStructureError(f"width must be >= 0, got {width}")
+        if not 0 <= rank <= len(self):
+            raise IndexError(f"rank {rank} out of range [0, {len(self)}]")
+        self._root = self._insert(self._root, rank, value, width)
+
+    def _insert(self, node: _Node | None, rank: int,
+                value: Any, width: int) -> _Node:
+        if node is None:
+            return _Node(value, width)
+        left = _elems(node.left)
+        if rank <= left:
+            node.left = self._insert(node.left, rank, value, width)
+        else:
+            node.right = self._insert(node.right, rank - left - 1,
+                                      value, width)
+        return _balance(node)
+
+    def delete(self, rank: int) -> tuple[Any, int]:
+        """Remove block ``rank``; return its ``(value, width)``."""
+        node = self._node_at(rank)  # validates rank
+        result = (node.value, node.width)
+        self._root = self._delete(self._root, rank)
+        return result
+
+    def _delete(self, node: _Node | None, rank: int) -> _Node | None:
+        assert node is not None
+        left = _elems(node.left)
+        if rank < left:
+            node.left = self._delete(node.left, rank)
+        elif rank > left:
+            node.right = self._delete(node.right, rank - left - 1)
+        else:
+            if node.left is None:
+                return node.right
+            if node.right is None:
+                return node.left
+            # Replace with in-order successor, then delete it below.
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.value, node.width = successor.value, successor.width
+            node.right = self._delete(node.right, 0)
+        return _balance(node)
+
+    def extend(self, items: "Iterable[tuple[Any, int]]") -> None:
+        """Append blocks at the end; O(n) when the tree starts empty
+        (perfectly balanced build), O(n log n) otherwise."""
+        items = list(items)
+        if self._root is None:
+            for _, width in items:
+                if width < 0:
+                    raise DataStructureError(
+                        f"width must be >= 0, got {width}"
+                    )
+            self._root = _build_balanced(items, 0, len(items))
+            return
+        for value, width in items:
+            self.insert(len(self), value, width)
+
+    def replace(self, rank: int, value: Any, width: int) -> None:
+        """Swap block ``rank``'s payload and width in place."""
+        if width < 0:
+            raise DataStructureError(f"width must be >= 0, got {width}")
+        if not 0 <= rank < len(self):
+            raise IndexError(f"rank {rank} out of range [0, {len(self)})")
+        # Iterative descent updating aggregates on the way back is awkward
+        # without parent pointers; adjust sub_chars along the path instead.
+        node = self._root
+        path: list[_Node] = []
+        r = rank
+        while node is not None:
+            path.append(node)
+            left = _elems(node.left)
+            if r < left:
+                node = node.left
+            elif r == left:
+                delta = width - node.width
+                node.value = value
+                node.width = width
+                if delta:
+                    for ancestor in path:
+                        ancestor.sub_chars += delta
+                return
+            else:
+                r -= left + 1
+                node = node.right
+        raise DataStructureError("replace fell off the tree")
+
+    # -- iteration ------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Any, int]]:
+        """Yield ``(value, width)`` for every block in order."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.value, node.width
+            node = node.right
+
+    def values(self) -> Iterator[Any]:
+        """Yield every block value in order."""
+        for value, _ in self.items():
+            yield value
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.values()
+
+    # -- verification ------------------------------------------------------
+
+    def checkrep(self) -> None:
+        """Validate AVL balance and aggregate invariants."""
+
+        def walk(node: _Node | None) -> tuple[int, int, int]:
+            if node is None:
+                return 0, 0, 0
+            lh, le, lc = walk(node.left)
+            rh, re, rc = walk(node.right)
+            if abs(lh - rh) > 1:
+                raise DataStructureError("AVL balance violated")
+            height = 1 + max(lh, rh)
+            elems = 1 + le + re
+            chars = node.width + lc + rc
+            if node.height != height:
+                raise DataStructureError("stale height")
+            if node.sub_elems != elems:
+                raise DataStructureError("stale sub_elems")
+            if node.sub_chars != chars:
+                raise DataStructureError("stale sub_chars")
+            return height, elems, chars
+
+        walk(self._root)

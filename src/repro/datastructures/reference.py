@@ -1,0 +1,92 @@
+"""Reference block index: a plain list with O(n) operations.
+
+Used as the oracle in property tests (both real structures must agree
+with it under arbitrary operation interleavings) and as the "naive"
+lower bound in the structure ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import DataStructureError
+
+__all__ = ["ReferenceIndex"]
+
+
+class ReferenceIndex:
+    """Same interface as :class:`IndexedSkipList`, trivially correct."""
+
+    def __init__(self) -> None:
+        self._items: list[tuple[Any, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def total_chars(self) -> int:
+        return sum(width for _, width in self._items)
+
+    def find_char(self, index: int) -> tuple[int, int]:
+        """Locate the block containing character ``index``."""
+        if index < 0:
+            raise IndexError(f"char index {index} out of range")
+        acc = 0
+        for rank, (_, width) in enumerate(self._items):
+            if acc + width > index:
+                return rank, index - acc
+            acc += width
+        raise IndexError(f"char index {index} out of range [0, {acc})")
+
+    def get(self, rank: int) -> tuple[Any, int]:
+        """Return ``(value, width)`` of the block with ordinal ``rank``."""
+        if not 0 <= rank < len(self._items):
+            raise IndexError(f"rank {rank} out of range")
+        return self._items[rank]
+
+    def char_start(self, rank: int) -> int:
+        """First character position covered by block ``rank``."""
+        if not 0 <= rank <= len(self._items):
+            raise IndexError(f"rank {rank} out of range")
+        return sum(width for _, width in self._items[:rank])
+
+    def insert(self, rank: int, value: Any, width: int) -> None:
+        """Insert a block so that it acquires ordinal ``rank``."""
+        if width < 0:
+            raise DataStructureError(f"width must be >= 0, got {width}")
+        if not 0 <= rank <= len(self._items):
+            raise IndexError(f"rank {rank} out of range")
+        self._items.insert(rank, (value, width))
+
+    def delete(self, rank: int) -> tuple[Any, int]:
+        """Remove block ``rank``; return its ``(value, width)``."""
+        if not 0 <= rank < len(self._items):
+            raise IndexError(f"rank {rank} out of range")
+        return self._items.pop(rank)
+
+    def extend(self, items) -> None:
+        """Append blocks at the end."""
+        for value, width in items:
+            self.insert(len(self._items), value, width)
+
+    def replace(self, rank: int, value: Any, width: int) -> None:
+        """Swap block ``rank``'s payload and width in place."""
+        if width < 0:
+            raise DataStructureError(f"width must be >= 0, got {width}")
+        if not 0 <= rank < len(self._items):
+            raise IndexError(f"rank {rank} out of range")
+        self._items[rank] = (value, width)
+
+    def items(self) -> Iterator[tuple[Any, int]]:
+        """Yield ``(value, width)`` for every block in order."""
+        return iter(list(self._items))
+
+    def values(self) -> Iterator[Any]:
+        """Yield every block value in order."""
+        return iter([value for value, _ in self._items])
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.values()
+
+    def checkrep(self) -> None:
+        """Nothing can go structurally wrong with a list."""

@@ -1,0 +1,72 @@
+"""RFC 4648 Base32 codec, implemented directly.
+
+The prototype shipped ciphertext to Google Documents as
+``Base32.encode(...)`` text (Fig. 2): the server stores *text*, so
+binary AES blocks must ride inside a text alphabet that survives the
+editor's storage layer untouched.  Base32's alphabet (A-Z, 2-7) is safe
+in form bodies and is case-stable.
+
+``encode``/``decode`` are padding-optional because the wire format
+(:mod:`repro.encoding.wire`) packs fixed-length records and padding
+characters would waste width.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CiphertextFormatError
+
+ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567"
+_DECODE_MAP = {ch: i for i, ch in enumerate(ALPHABET)}
+
+#: Valid unpadded encoding lengths for each ``len(data) % 5``.
+_TAIL_CHARS = {0: 0, 1: 2, 2: 4, 3: 5, 4: 7}
+_TAIL_BYTES = {chars: nbytes for nbytes, chars in _TAIL_CHARS.items() if chars}
+_TAIL_BYTES[8] = 5
+
+
+def encoded_length(nbytes: int) -> int:
+    """Length in characters of the unpadded encoding of ``nbytes`` bytes."""
+    return (nbytes // 5) * 8 + _TAIL_CHARS[nbytes % 5]
+
+
+def encode(data: bytes, pad: bool = False) -> str:
+    """Base32-encode ``data``; append ``=`` padding only if ``pad``."""
+    out: list[str] = []
+    for start in range(0, len(data), 5):
+        chunk = data[start : start + 5]
+        value = int.from_bytes(chunk, "big") << (8 * (5 - len(chunk)))
+        chars = _TAIL_CHARS[len(chunk) % 5] or 8
+        for pos in range(chars):
+            out.append(ALPHABET[(value >> (35 - 5 * pos)) & 0x1F])
+        if pad and chars != 8:
+            out.append("=" * (8 - chars))
+    return "".join(out)
+
+
+def decode(text: str) -> bytes:
+    """Decode Base32 ``text`` (padded or not) back to bytes."""
+    text = text.rstrip("=")
+    out = bytearray()
+    for start in range(0, len(text), 8):
+        chunk = text[start : start + 8]
+        if len(chunk) not in _TAIL_BYTES:
+            raise CiphertextFormatError(
+                f"invalid base32 tail length {len(chunk)}"
+            )
+        value = 0
+        for ch in chunk:
+            try:
+                value = (value << 5) | _DECODE_MAP[ch]
+            except KeyError:
+                raise CiphertextFormatError(
+                    f"invalid base32 character {ch!r}"
+                ) from None
+        value <<= 5 * (8 - len(chunk))
+        nbytes = _TAIL_BYTES[len(chunk)]
+        # Non-canonical trailing bits indicate corruption or splicing at a
+        # non-record boundary; reject rather than silently truncate.
+        tail_bits = 40 - 8 * nbytes
+        if value & ((1 << tail_bits) - 1):
+            raise CiphertextFormatError("non-canonical base32 tail bits")
+        out.extend((value >> tail_bits).to_bytes(nbytes, "big"))
+    return bytes(out)

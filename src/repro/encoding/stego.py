@@ -1,0 +1,241 @@
+"""Steganographic ciphertext encoding (the SVI-A extension).
+
+"The server could recognize the use of encryption and refuse to store
+any content that appears to be encrypted.  To cope with this situation,
+our tool could be extended using existing results in stenography to
+make it difficult for the server [to] identify encrypted documents."
+The paper leaves this as future work; this module implements it.
+
+Scheme
+------
+Ciphertext rides in a stream of **pronounceable five-letter pseudo-words**
+(1024 of them: consonant-vowel syllable pairs, "bakel", "gorin", ...),
+each carrying 10 bits.  The result reads like lorem-ipsum prose —
+word-length distribution, vowel ratio, and space frequency all look like
+text, none like Base32 — and defeats the entropy/alphabet heuristics a
+server-side detector plausibly uses (see
+:func:`repro.security.analysis.encryption_score`).
+
+Crucially the encoding is **incremental-update-safe**: every word is
+exactly 5 letters + 1 space, so one wire record (17 bytes → 14 words)
+always occupies :data:`STEGO_RECORD_CHARS` characters, and ciphertext
+deltas translate to stego deltas by pure arithmetic
+(:func:`stego_rewrite_cdelta`).  The variable-length document header is
+carried as a length-prefixed word run at the front (it is never touched
+by deltas).
+
+Cost: 84 stego characters per 28-character record — a further 3x
+blow-up on top of Fig. 7's, which is the quantified version of the
+paper's "may be impractical for realistic applications".
+"""
+
+from __future__ import annotations
+
+from repro.core.delta import Delete, Delta, DeltaOp, Insert, Retain
+from repro.encoding.wire import RECORD_BYTES, RECORD_CHARS, split_header
+from repro.errors import CiphertextFormatError
+
+__all__ = [
+    "WORDS",
+    "WORDS_PER_RECORD",
+    "STEGO_RECORD_CHARS",
+    "stego_wrap",
+    "stego_unwrap",
+    "stego_header_length",
+    "stego_rewrite_cdelta",
+    "looks_stego",
+]
+
+_CONSONANTS = "bdfgklmnprstvz"  # 14
+_VOWELS = "aeiou"               # 5
+
+
+def _build_words() -> list[str]:
+    """1024 distinct CVCVC pseudo-words, deterministically ordered."""
+    words: list[str] = []
+    for c1 in _CONSONANTS:
+        for v1 in _VOWELS:
+            for c2 in _CONSONANTS:
+                for v2 in _VOWELS:
+                    for c3 in _CONSONANTS:
+                        words.append(c1 + v1 + c2 + v2 + c3)
+                        if len(words) == 1024:
+                            return words
+    raise AssertionError("unreachable")
+
+
+WORDS = _build_words()
+_WORD_INDEX = {word: i for i, word in enumerate(WORDS)}
+
+WORD_CHARS = 6  # five letters + one following space
+
+#: a 17-byte record is 136 bits -> 14 ten-bit words (4 pad bits)
+WORDS_PER_RECORD = (RECORD_BYTES * 8 + 9) // 10
+#: stego characters one record occupies
+STEGO_RECORD_CHARS = WORDS_PER_RECORD * WORD_CHARS
+
+_LENGTH_WORDS = 2  # 20-bit byte-length prefix for the header run
+
+
+def _bytes_to_words(data: bytes) -> list[str]:
+    value = int.from_bytes(data, "big")
+    nwords = (len(data) * 8 + 9) // 10
+    value <<= nwords * 10 - len(data) * 8
+    return [
+        WORDS[(value >> (10 * (nwords - 1 - i))) & 0x3FF]
+        for i in range(nwords)
+    ]
+
+
+def _words_to_bytes(words: list[str], nbytes: int) -> bytes:
+    value = 0
+    for word in words:
+        try:
+            value = (value << 10) | _WORD_INDEX[word]
+        except KeyError:
+            raise CiphertextFormatError(
+                f"unknown stego word {word!r}"
+            ) from None
+    pad = len(words) * 10 - nbytes * 8
+    if pad < 0:
+        raise CiphertextFormatError("stego word run too short")
+    if value & ((1 << pad) - 1):
+        raise CiphertextFormatError("non-canonical stego padding bits")
+    return (value >> pad).to_bytes(nbytes, "big")
+
+
+def stego_header_length_from_chars(header_chars: int) -> int:
+    """Stego characters occupied by a ``header_chars``-byte header run."""
+    header_words = (header_chars * 8 + 9) // 10
+    return (_LENGTH_WORDS + header_words) * WORD_CHARS
+
+
+def stego_header_length(wire_text: str) -> int:
+    """Stego characters occupied by the document-header run."""
+    _, rest = split_header(wire_text)
+    return stego_header_length_from_chars(len(wire_text) - len(rest))
+
+
+def stego_wrap(wire_text: str) -> str:
+    """Encode a wire document as innocuous pseudo-prose."""
+    _, area = split_header(wire_text)
+    header_text = wire_text[: len(wire_text) - len(area)]
+    header_raw = header_text.encode("ascii")
+    if len(header_raw) >= 1 << 16:
+        raise CiphertextFormatError("header too large for stego prefix")
+    out: list[str] = []
+    # 2-word (16-bit) byte-length prefix for the header run
+    out.extend(_bytes_to_words(len(header_raw).to_bytes(2, "big")))
+    out.extend(_bytes_to_words(header_raw))
+    from repro.encoding import base32
+    for i in range(0, len(area), RECORD_CHARS):
+        record_raw = base32.decode(area[i : i + RECORD_CHARS])
+        out.extend(_bytes_to_words(record_raw))
+    return "".join(word + " " for word in out)
+
+
+def stego_unwrap(text: str) -> str:
+    """Invert :func:`stego_wrap` back to the wire document."""
+    if len(text) % WORD_CHARS:
+        raise CiphertextFormatError(
+            f"stego text length {len(text)} is not word-aligned"
+        )
+    words = [
+        text[i : i + 5] for i in range(0, len(text), WORD_CHARS)
+    ]
+    for i in range(0, len(text), WORD_CHARS):
+        if text[i + 5] != " ":
+            raise CiphertextFormatError("stego words must be space-separated")
+    if len(words) < _LENGTH_WORDS:
+        raise CiphertextFormatError("stego text too short")
+    header_bytes = int.from_bytes(
+        _words_to_bytes(words[:_LENGTH_WORDS], 2), "big"
+    )
+    header_words = (header_bytes * 8 + 9) // 10
+    cursor = _LENGTH_WORDS
+    header_raw = _words_to_bytes(
+        words[cursor : cursor + header_words], header_bytes
+    )
+    cursor += header_words
+    remaining = words[cursor:]
+    if len(remaining) % WORDS_PER_RECORD:
+        raise CiphertextFormatError(
+            "stego record area is not whole records"
+        )
+    from repro.encoding import base32
+    records: list[str] = []
+    for i in range(0, len(remaining), WORDS_PER_RECORD):
+        raw = _words_to_bytes(
+            remaining[i : i + WORDS_PER_RECORD], RECORD_BYTES
+        )
+        records.append(base32.encode(raw))
+    return header_raw.decode("ascii") + "".join(records)
+
+
+def looks_stego(text: str) -> bool:
+    """Cheap structural check used by the extension's read path."""
+    if len(text) < WORD_CHARS or len(text) % WORD_CHARS:
+        return False
+    probe = text[:WORD_CHARS * 4]
+    return all(
+        probe[i : i + 5] in _WORD_INDEX and probe[i + 5 : i + 6] == " "
+        for i in range(0, len(probe) - WORD_CHARS + 1, WORD_CHARS)
+    )
+
+
+def stego_rewrite_cdelta(cdelta: Delta, header_chars: int) -> Delta:
+    """Translate a wire-coordinate cdelta into stego coordinates.
+
+    Works because the document layer emits cdeltas whose operations are
+    record-aligned beyond the (never-edited) ``header_chars``-byte
+    header: retain/delete counts scale by
+    ``STEGO_RECORD_CHARS / RECORD_CHARS`` and insert payloads are
+    re-encoded word-wise.
+    """
+    stego_header = stego_header_length_from_chars(header_chars)
+
+    from repro.encoding import base32
+
+    ops: list[DeltaOp] = []
+    consumed = 0  # wire chars consumed so far
+    for op in cdelta.ops:
+        if isinstance(op, Retain):
+            count = op.count
+            stego_count = 0
+            if consumed < header_chars:
+                in_header = min(count, header_chars - consumed)
+                if in_header != header_chars - consumed and in_header != count:
+                    raise CiphertextFormatError(
+                        "cdelta splits the document header"
+                    )
+                if in_header:
+                    stego_count += stego_header
+                    count -= in_header
+                    consumed += in_header
+            if count % RECORD_CHARS:
+                raise CiphertextFormatError(
+                    "cdelta retain is not record-aligned"
+                )
+            stego_count += count // RECORD_CHARS * STEGO_RECORD_CHARS
+            consumed += count
+            ops.append(Retain(stego_count))
+        elif isinstance(op, Delete):
+            if consumed < header_chars or op.count % RECORD_CHARS:
+                raise CiphertextFormatError(
+                    "cdelta delete is not record-aligned"
+                )
+            consumed += op.count
+            ops.append(
+                Delete(op.count // RECORD_CHARS * STEGO_RECORD_CHARS)
+            )
+        else:
+            if len(op.text) % RECORD_CHARS:
+                raise CiphertextFormatError(
+                    "cdelta insert is not whole records"
+                )
+            words: list[str] = []
+            for i in range(0, len(op.text), RECORD_CHARS):
+                raw = base32.decode(op.text[i : i + RECORD_CHARS])
+                words.extend(_bytes_to_words(raw))
+            ops.append(Insert("".join(word + " " for word in words)))
+    return Delta(ops)

@@ -1,0 +1,194 @@
+"""Ciphertext wire format: fixed-width Base32 records.
+
+The untrusted server stores the ciphertext document as *text* (an
+on-line editor stores what looks like a document).  This module defines
+that text layout, chosen so that ciphertext deltas reduce to exact
+character arithmetic:
+
+* **Record** — one encrypted unit: a header byte carrying the number of
+  plaintext characters packed in the block (0 for pure bookkeeping
+  blocks such as rECB's ``F(r0)`` or RPC's checksum block) followed by
+  the 16-byte AES block.  17 bytes encode to exactly
+  :data:`RECORD_CHARS` unpadded Base32 characters, so record *i* always
+  occupies ``[i * RECORD_CHARS, (i+1) * RECORD_CHARS)`` in the record
+  area and inserting/deleting whole records never re-aligns neighbours.
+* **DocumentHeader** — a short plaintext-metadata prefix naming the
+  scheme, block-capacity parameter ``b``, nonce width, and the KDF salt.
+  Written once per full save; incremental deltas never touch it.
+
+Everything the server stores is accounted here, so the Fig. 7 blow-up
+measurements count real stored characters (header byte + AES block +
+Base32 expansion), not an idealized 16x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding import base32
+from repro.errors import CiphertextFormatError
+
+#: bytes per record before encoding: 1 header byte + one AES block
+RECORD_BYTES = 17
+#: characters one record occupies on the wire
+RECORD_CHARS = base32.encoded_length(RECORD_BYTES)  # == 28
+
+_MAGIC = "PE1"
+_HEADER_END = "."
+
+
+@dataclass(frozen=True)
+class Record:
+    """One encrypted block as stored by the server."""
+
+    char_count: int  #: plaintext characters packed inside (0 = bookkeeping)
+    block: bytes     #: the 16-byte AES output
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.char_count <= 255:
+            raise CiphertextFormatError(
+                f"record char_count {self.char_count} out of range"
+            )
+        if len(self.block) != 16:
+            raise CiphertextFormatError(
+                f"record block must be 16 bytes, got {len(self.block)}"
+            )
+
+
+def encode_record(record: Record) -> str:
+    """Encode one record to its fixed-width wire text."""
+    return base32.encode(bytes([record.char_count]) + record.block)
+
+
+def decode_record(text: str) -> Record:
+    """Decode one :data:`RECORD_CHARS`-character wire chunk."""
+    if len(text) != RECORD_CHARS:
+        raise CiphertextFormatError(
+            f"record must be {RECORD_CHARS} chars, got {len(text)}"
+        )
+    raw = base32.decode(text)
+    return Record(char_count=raw[0], block=raw[1:])
+
+
+#: NumPy view of the Base32 alphabet for the batched paths
+_ALPHABET_BYTES = np.frombuffer(base32.ALPHABET.encode("ascii"),
+                                dtype=np.uint8)
+_ALPHABET_INDEX = np.full(256, 255, dtype=np.uint8)
+_ALPHABET_INDEX[_ALPHABET_BYTES] = np.arange(32, dtype=np.uint8)
+_POW5 = np.array([16, 8, 4, 2, 1], dtype=np.uint8)
+
+#: per-record padding: 17 bytes = 136 bits, padded to 140 = 28 * 5
+_PAD_BITS = RECORD_CHARS * 5 - RECORD_BYTES * 8
+
+
+def encode_records(records: list[Record]) -> str:
+    """Encode a sequence of records to contiguous wire text.
+
+    Batched: documents run to tens of thousands of records, so the
+    Base32 expansion is done as one NumPy bit-unpack over all of them
+    (records are fixed-width, making every record's encoding
+    independent and alignment-free).
+    """
+    if len(records) < 8:
+        return "".join(encode_record(r) for r in records)
+    raw = np.frombuffer(
+        b"".join(bytes([r.char_count]) + r.block for r in records),
+        dtype=np.uint8,
+    ).reshape(len(records), RECORD_BYTES)
+    bits = np.unpackbits(raw, axis=1)
+    bits = np.concatenate(
+        [bits, np.zeros((len(records), _PAD_BITS), dtype=np.uint8)], axis=1
+    )
+    groups = bits.reshape(len(records), RECORD_CHARS, 5) @ _POW5
+    return _ALPHABET_BYTES[groups].tobytes().decode("ascii")
+
+
+def decode_records(text: str) -> list[Record]:
+    """Decode contiguous wire text back into records (batched)."""
+    if len(text) % RECORD_CHARS:
+        raise CiphertextFormatError(
+            f"record area length {len(text)} is not a multiple of "
+            f"{RECORD_CHARS}"
+        )
+    count = len(text) // RECORD_CHARS
+    if count < 8:
+        return [
+            decode_record(text[i : i + RECORD_CHARS])
+            for i in range(0, len(text), RECORD_CHARS)
+        ]
+    try:
+        chars = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+    except UnicodeEncodeError:
+        raise CiphertextFormatError(
+            "invalid base32 character in record area"
+        ) from None
+    indices = _ALPHABET_INDEX[chars]
+    if (indices == 255).any():
+        raise CiphertextFormatError("invalid base32 character in record area")
+    bits = np.unpackbits(indices.reshape(count * RECORD_CHARS, 1), axis=1)
+    bits = bits[:, 3:].reshape(count, RECORD_CHARS * 5)
+    if bits[:, RECORD_BYTES * 8 :].any():
+        raise CiphertextFormatError("non-canonical base32 tail bits")
+    raw = np.packbits(bits[:, : RECORD_BYTES * 8], axis=1)
+    return [
+        Record(char_count=int(row[0]), block=row[1:].tobytes())
+        for row in raw
+    ]
+
+
+@dataclass(frozen=True)
+class DocumentHeader:
+    """Plaintext metadata prefix of a ciphertext document."""
+
+    scheme: str       #: scheme name, e.g. ``"recb"`` or ``"rpc"``
+    block_chars: int  #: block capacity parameter ``b`` (characters)
+    nonce_bits: int   #: nonce width used by the scheme
+    salt: bytes       #: per-document KDF salt
+
+    def encode(self) -> str:
+        """Serialize, terminated by :data:`_HEADER_END`."""
+        return "-".join([
+            _MAGIC,
+            self.scheme.upper(),
+            str(self.block_chars),
+            str(self.nonce_bits),
+            base32.encode(self.salt),
+        ]) + _HEADER_END
+
+    @property
+    def wire_length(self) -> int:
+        """Characters this header occupies on the wire."""
+        return len(self.encode())
+
+
+def parse_document(text: str) -> tuple[DocumentHeader, list[Record]]:
+    """Split a stored ciphertext document into header and records."""
+    header, rest = split_header(text)
+    return header, decode_records(rest)
+
+
+def split_header(text: str) -> tuple[DocumentHeader, str]:
+    """Parse the header prefix; return it plus the raw record area."""
+    end = text.find(_HEADER_END)
+    if end < 0:
+        raise CiphertextFormatError("missing document header terminator")
+    parts = text[:end].split("-")
+    if len(parts) != 5 or parts[0] != _MAGIC:
+        raise CiphertextFormatError(f"bad document header {text[:end]!r}")
+    try:
+        header = DocumentHeader(
+            scheme=parts[1].lower(),
+            block_chars=int(parts[2]),
+            nonce_bits=int(parts[3]),
+            salt=base32.decode(parts[4]),
+        )
+    except ValueError as exc:
+        raise CiphertextFormatError(f"bad document header: {exc}") from None
+    return header, text[end + 1 :]
+
+
+def looks_encrypted(text: str) -> bool:
+    """Heuristic used by tools and tests: is this a PE1 wire document?"""
+    return text.startswith(_MAGIC + "-")

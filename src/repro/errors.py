@@ -1,0 +1,113 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subtrees mirror the
+package layout: crypto failures, delta/transform failures, protocol and
+service failures, and data-structure misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Cryptography
+# ---------------------------------------------------------------------------
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeySizeError(CryptoError):
+    """An AES key of unsupported length was supplied."""
+
+
+class BlockSizeError(CryptoError):
+    """Input is not a whole number of cipher blocks, or a block has the
+    wrong width."""
+
+
+class CiphertextFormatError(CryptoError):
+    """A ciphertext document or record does not parse (bad wire framing,
+    wrong length, corrupt Base32, unknown scheme tag...)."""
+
+
+class IntegrityError(CryptoError):
+    """Integrity verification failed: the ciphertext was tampered with,
+    replayed, truncated, or spliced.
+
+    Raised only by schemes that provide integrity (RPC mode).  The message
+    describes which check failed (start marker, nonce chain, checksum
+    block, or length amendment) to aid the attack-analysis harness; a real
+    deployment would surface a single opaque failure.
+    """
+
+
+class DecryptionError(CryptoError):
+    """Decryption could not produce a plaintext (bad key/password or
+    malformed ciphertext)."""
+
+
+# ---------------------------------------------------------------------------
+# Deltas and transformation
+# ---------------------------------------------------------------------------
+
+class DeltaError(ReproError):
+    """Base class for delta-related failures."""
+
+
+class DeltaSyntaxError(DeltaError):
+    """A delta string does not conform to the ``=n`` / ``+str`` / ``-n``
+    grammar."""
+
+
+class DeltaApplicationError(DeltaError):
+    """A syntactically valid delta cannot be applied to this document
+    (cursor runs past the end, delete count exceeds remaining text...)."""
+
+
+class TransformError(DeltaError):
+    """The extension could not translate a plaintext delta into a
+    ciphertext delta (mirror out of sync with the client's edits)."""
+
+
+# ---------------------------------------------------------------------------
+# Network / services / extension
+# ---------------------------------------------------------------------------
+
+class ProtocolError(ReproError):
+    """A message violates the (reverse-engineered) application protocol."""
+
+
+class BlockedRequestError(ProtocolError):
+    """The mediator dropped a request that did not match the narrow
+    allowed interface (the fail-closed branch of Fig. 2)."""
+
+
+class QuotaExceededError(ProtocolError):
+    """The server refused content above its maximum file size
+    (Google Documents enforced 500 kB in 2011)."""
+
+
+class SessionError(ProtocolError):
+    """An operation was attempted outside a valid edit session."""
+
+
+class ConflictError(ProtocolError):
+    """Concurrent editors touched the same region and the server reported
+    a conflict (the partially-functional collaboration mode of SVII-A)."""
+
+
+class PasswordError(ReproError):
+    """Wrong or missing per-document password."""
+
+
+# ---------------------------------------------------------------------------
+# Data structures
+# ---------------------------------------------------------------------------
+
+class DataStructureError(ReproError):
+    """Misuse of an index structure (invariant would be violated)."""

@@ -1,0 +1,83 @@
+"""The Bespin extension: encrypt whole files inside PUT requests.
+
+SIII: "By wrapping the PUT request with code that encrypts all user
+data, the server only sees encrypted contents."  No incremental
+machinery is involved — every save re-encrypts the file (which is why
+the paper's incremental scheme matters for Google Documents, and why
+the CoClo baseline looks like this).
+"""
+
+from __future__ import annotations
+
+from repro.core.transform import EncryptionEngine
+from repro.encoding.wire import looks_encrypted
+from repro.errors import (
+    CiphertextFormatError,
+    DecryptionError,
+    IntegrityError,
+    PasswordError,
+)
+from repro.extension.passwords import PasswordVault
+from repro.net.http import HttpRequest, HttpResponse
+
+__all__ = ["BespinExtension"]
+
+_FILE_PREFIX = "/file/at/"
+_LIST_PREFIX = "/file/list/"
+
+
+class BespinExtension:
+    """Mediator wrapping the Bespin PUT/GET file protocol."""
+
+    def __init__(self, vault: PasswordVault, scheme: str = "recb",
+                 block_chars: int = 8, rng=None):
+        self._vault = vault
+        self._scheme = scheme
+        self._block_chars = block_chars
+        self._rng = rng
+        self._engines: dict[str, EncryptionEngine] = {}
+        self.warnings: list[str] = []
+
+    def engine(self, path: str) -> EncryptionEngine:
+        """Per-file encryption engine (created on first use)."""
+        if path not in self._engines:
+            self._engines[path] = EncryptionEngine(
+                password=self._vault.get(path),
+                scheme=self._scheme,
+                block_chars=self._block_chars,
+                rng=self._rng,
+            )
+        return self._engines[path]
+
+    def on_request(self, request: HttpRequest) -> HttpRequest | None:
+        """Encrypt PUT bodies; allow GET/DELETE/list; drop the rest."""
+        if request.path.startswith(_FILE_PREFIX):
+            name = request.path[len(_FILE_PREFIX):]
+            if request.method == "PUT":
+                return request.with_body(
+                    self.engine(name).encrypt(request.body)
+                )
+            if request.method in ("GET", "DELETE"):
+                return request
+            return None
+        if request.path.startswith(_LIST_PREFIX) and request.method == "GET":
+            return request  # listings carry file names only
+        return None
+
+    def on_response(
+        self, request: HttpRequest, response: HttpResponse
+    ) -> HttpResponse:
+        """Decrypt fetched files for the oblivious client."""
+        if (
+            response.ok
+            and request.method == "GET"
+            and request.path.startswith(_FILE_PREFIX)
+            and looks_encrypted(response.body)
+        ):
+            name = request.path[len(_FILE_PREFIX):]
+            try:
+                return response.with_body(self.engine(name).decrypt(response.body))
+            except (DecryptionError, IntegrityError, CiphertextFormatError,
+                PasswordError) as exc:
+                self.warnings.append(f"{name}: {exc}")
+        return response

@@ -1,0 +1,94 @@
+"""The Buzzword extension: encrypt the text inside ``<textRun>`` tags.
+
+SIII: "By encrypting the text embedded in <textRun> tags, we keep
+submitted document content secure."  The XML structure (paragraphs,
+ordering) stays visible to the server — only the run contents are
+ciphertext.  Each run is an independent ciphertext document under the
+document's key, because Buzzword re-sends everything on every save
+anyway.
+"""
+
+from __future__ import annotations
+
+from repro.core.document import create_document, load_document
+from repro.core.keys import KeyMaterial
+from repro.encoding.wire import looks_encrypted
+from repro.errors import (
+    CiphertextFormatError,
+    DecryptionError,
+    IntegrityError,
+    PasswordError,
+)
+from repro.extension.passwords import PasswordVault
+from repro.net.http import HttpRequest, HttpResponse
+from repro.services import buzzword
+
+__all__ = ["BuzzwordExtension"]
+
+_DOC_PREFIX = "/doc/"
+
+
+class BuzzwordExtension:
+    """Mediator encrypting Buzzword text runs."""
+
+    def __init__(self, vault: PasswordVault, scheme: str = "recb",
+                 block_chars: int = 8, rng=None):
+        self._vault = vault
+        self._scheme = scheme
+        self._block_chars = block_chars
+        self._rng = rng
+        self._keys: dict[str, KeyMaterial] = {}
+        self.warnings: list[str] = []
+
+    def _key_for(self, doc_id: str) -> KeyMaterial:
+        if doc_id not in self._keys:
+            self._keys[doc_id] = KeyMaterial.from_password(
+                self._vault.get(doc_id), rng=self._rng
+            )
+        return self._keys[doc_id]
+
+    def on_request(self, request: HttpRequest) -> HttpRequest | None:
+        """Encrypt every textRun in POSTed XML; drop unknown requests."""
+        if not request.path.startswith(_DOC_PREFIX):
+            return None
+        doc_id = request.path[len(_DOC_PREFIX):]
+        if request.method == "POST":
+            keys = self._key_for(doc_id)
+            encrypted = buzzword.map_text_runs(
+                request.body,
+                lambda run: create_document(
+                    run,
+                    key_material=keys,
+                    scheme=self._scheme,
+                    block_chars=self._block_chars,
+                    rng=self._rng,
+                ).wire(),
+            )
+            return request.with_body(encrypted)
+        if request.method == "GET" and "/" not in doc_id:
+            return request  # plain document fetch
+        return None  # sub-resources (e.g. /wordcount) are unknown: drop
+
+    def on_response(
+        self, request: HttpRequest, response: HttpResponse
+    ) -> HttpResponse:
+        """Decrypt fetched textRuns for the oblivious client."""
+        if not (response.ok and request.method == "GET"):
+            return response
+        doc_id = request.path[len(_DOC_PREFIX):]
+
+        def decrypt_run(run: str) -> str:
+            if not looks_encrypted(run):
+                return run
+            try:
+                return load_document(
+                    run, password=self._vault.get(doc_id)
+                ).text
+            except (DecryptionError, IntegrityError, CiphertextFormatError,
+                PasswordError) as exc:
+                self.warnings.append(f"{doc_id}: {exc}")
+                return run
+
+        return response.with_body(
+            buzzword.map_text_runs(response.body, decrypt_run)
+        )

@@ -1,0 +1,82 @@
+"""Covert-channel countermeasures (SVI-B).
+
+Against a *malicious client* the extension cannot prevent all leakage,
+but it controls the narrow interface to the server and can therefore
+disrupt the channels the paper enumerates:
+
+* **delta canonicalization** — "maintaining each group of delta updates
+  and merging them into a canonical form before sending": any two
+  deltas with the same effect leave the extension identical, destroying
+  the delta-shape channel (the Ord(q) insert/delete trick);
+* **random padding** — "randomly pad the content (without affecting the
+  correctness of the content)": a throwaway form field of random length
+  hides the true message size from the length channel;
+* **random delays** — "add random delays ... to every outgoing update
+  request": jitter swamps timing modulation (updates are asynchronous,
+  so the user doesn't notice).
+
+``repro.security.covert`` measures each channel's bandwidth with and
+without these switches (ablation C).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.delta import Delta
+from repro.encoding.base32 import ALPHABET
+
+__all__ = ["Countermeasures", "PAD_FIELD"]
+
+#: throwaway form field used for padding; servers ignore unknown fields
+PAD_FIELD = "pad"
+
+
+@dataclass
+class Countermeasures:
+    """Switchboard of mitigations applied by the mediator."""
+
+    canonicalize_deltas: bool = False
+    pad_requests: bool = False
+    pad_max_chars: int = 512
+    random_delay: bool = False
+    delay_max_seconds: float = 0.5
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    @classmethod
+    def none(cls) -> "Countermeasures":
+        """No mitigations (the paper's default configuration)."""
+        return cls()
+
+    @classmethod
+    def all(cls, seed: int = 0) -> "Countermeasures":
+        """Every mitigation on."""
+        return cls(
+            canonicalize_deltas=True,
+            pad_requests=True,
+            random_delay=True,
+            rng=random.Random(seed),
+        )
+
+    # -- the three mitigations ---------------------------------------
+
+    def shape_delta(self, delta: Delta) -> Delta:
+        """Canonicalize if enabled (destroys delta-shape encodings)."""
+        if self.canonicalize_deltas:
+            return delta.canonical()
+        return delta
+
+    def pad_fields(self, fields: dict[str, str]) -> dict[str, str]:
+        """Append a random-length throwaway field if enabled."""
+        if not self.pad_requests:
+            return fields
+        length = self.rng.randint(0, self.pad_max_chars)
+        padding = "".join(self.rng.choice(ALPHABET) for _ in range(length))
+        return {**fields, PAD_FIELD: padding}
+
+    def delay(self) -> float:
+        """Extra seconds to hold an outgoing update, if enabled."""
+        if not self.random_delay:
+            return 0.0
+        return self.rng.uniform(0.0, self.delay_max_seconds)

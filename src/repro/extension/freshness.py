@@ -1,0 +1,63 @@
+"""Rollback detection (a freshness extension beyond the paper).
+
+The paper's schemes verify that a stored document is *internally*
+consistent, but an old, internally consistent version replayed by the
+server verifies just as well — the rollback attack demonstrated in
+``tests/integration/test_attack_scenarios.py``.  Detecting staleness
+fundamentally needs trusted state *outside* the document; the natural
+place is the same place the paper already trusts: the client-side
+extension.
+
+Mechanism: every RPC update bumps a monotonic version counter bound
+into the (AES-protected) checksum record (:mod:`repro.core.rpc`); the
+:class:`FreshnessMonitor` remembers, per document, the highest version
+this client has produced or observed.  When a document is later loaded
+with a *lower* version, the server replayed an old snapshot.
+
+Limits (documented, not hidden): the monitor's memory is per client, so
+a rollback to a state this client never saw — or a rollback served only
+to a *different* collaborator — is not detected; that needs SPORC-style
+cross-client machinery, which the paper explicitly leaves out of scope.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegrityError
+
+__all__ = ["RollbackError", "FreshnessMonitor"]
+
+
+class RollbackError(IntegrityError):
+    """The server presented an older version than this client has seen."""
+
+
+class FreshnessMonitor:
+    """Per-document high-water marks of the RPC version counter."""
+
+    def __init__(self) -> None:
+        self._high_water: dict[str, int] = {}
+
+    def last_seen(self, doc_id: str) -> int | None:
+        """The highest version observed for ``doc_id`` (None if never)."""
+        return self._high_water.get(doc_id)
+
+    def observe(self, doc_id: str, version: int) -> None:
+        """Record a version this client produced or accepted."""
+        current = self._high_water.get(doc_id, -1)
+        if version > current:
+            self._high_water[doc_id] = version
+
+    def check(self, doc_id: str, version: int) -> None:
+        """Raise :class:`RollbackError` when ``version`` regresses."""
+        current = self._high_water.get(doc_id)
+        if current is not None and version < current:
+            raise RollbackError(
+                f"document {doc_id!r} loaded at version {version}, but "
+                f"this client has already seen version {current} "
+                f"(server rollback/replay)"
+            )
+
+    def forget(self, doc_id: str) -> None:
+        """Drop state (e.g. the user deliberately restored an old
+        revision out of band)."""
+        self._high_water.pop(doc_id, None)

@@ -1,0 +1,274 @@
+"""The Google Documents extension (SIV, Fig. 1 and Fig. 2).
+
+``GDocsExtension`` is the :class:`repro.net.channel.Mediator` that the
+paper's pseudocode sketches:
+
+* a ``docContents`` full save → encrypt the contents field;
+* a ``delta`` incremental save → translate through ``transform_delta``;
+* a bare session-open POST and the document GET → allowed;
+* **everything else is dropped** — including every server-side feature
+  request (spell check, translate, export, drawing), which is precisely
+  how those features "become unavailable" in SVII-A;
+
+and on the return path:
+
+* decrypt document content delivered by opens/fetches (so the oblivious
+  client sees plaintext);
+* neutralize ``contentFromServer`` / ``contentFromServerHash`` in every
+  Ack — the paper found single-user editing works flawlessly with the
+  empty string and ``0`` substituted, and multi-user editing degrades
+  to conflict complaints (reproduced in the integration tests).
+"""
+
+from __future__ import annotations
+
+from repro.core.delta import Delta
+from repro.core.transform import EncryptionEngine
+from repro.encoding.wire import looks_encrypted
+from repro.errors import (
+    CiphertextFormatError,
+    DecryptionError,
+    IntegrityError,
+    PasswordError,
+)
+from repro.extension.countermeasures import Countermeasures
+from repro.extension.freshness import FreshnessMonitor
+from repro.extension.passwords import PasswordVault
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.latency import SimClock
+from repro.services.gdocs import protocol
+
+__all__ = ["GDocsExtension"]
+
+
+class GDocsExtension:
+    """Request mediator providing private editing on Google Documents."""
+
+    def __init__(
+        self,
+        vault: PasswordVault,
+        scheme: str = "recb",
+        block_chars: int = 8,
+        rng=None,
+        index_factory=None,
+        countermeasures: Countermeasures | None = None,
+        clock: SimClock | None = None,
+        decrypt_acks: bool = False,
+        stego: bool = False,
+        freshness: FreshnessMonitor | None = None,
+    ):
+        self._vault = vault
+        self._scheme = scheme
+        self._block_chars = block_chars
+        self._rng = rng
+        self._index_factory = index_factory
+        self._counter = countermeasures or Countermeasures.none()
+        self._clock = clock
+        #: beyond-the-paper option: decrypt Ack content instead of
+        #: blanking it, which repairs conflict resync (ablation in
+        #: tests/integration/test_collaboration.py)
+        self._decrypt_acks = decrypt_acks
+        #: SVI-A extension: disguise ciphertext as pseudo-prose so a
+        #: censoring provider cannot recognize (and refuse) it
+        self._stego = stego
+        #: beyond-the-paper rollback detector (RPC documents only)
+        self._freshness = freshness
+        self._engines: dict[str, EncryptionEngine] = {}
+        self.warnings: list[str] = []
+
+    # -- engine management ----------------------------------------------
+
+    def engine(self, doc_id: str) -> EncryptionEngine:
+        """The per-document encryption state (created on first use)."""
+        if doc_id not in self._engines:
+            self._engines[doc_id] = EncryptionEngine(
+                password=self._vault.get(doc_id),
+                scheme=self._scheme,
+                block_chars=self._block_chars,
+                rng=self._rng,
+                index_factory=self._index_factory,
+            )
+        return self._engines[doc_id]
+
+    # -- Mediator: outgoing ------------------------------------------------
+
+    def on_request(self, request: HttpRequest) -> HttpRequest | None:
+        """Fig. 2: encrypt docContents, transform delta, drop the rest."""
+        if request.path != protocol.DOC_PATH:
+            return None  # not part of the understood protocol: drop
+        params = request.query
+        doc_id = params.get("docID")
+        if not doc_id:
+            return None
+        if params.get("action"):
+            return None  # every feature endpoint is blocked
+        if request.method == "GET":
+            return request  # document fetch: ciphertext comes back
+        if request.method != "POST":
+            return None
+
+        form = request.form if request.body else {}
+        if protocol.F_DOC_CONTENTS in form:
+            return self._rewrite_full_save(doc_id, request, form)
+        if protocol.F_DELTA in form:
+            return self._rewrite_delta_save(doc_id, request, form)
+        if not form:
+            return request  # session open carries no content
+        return None  # unknown POST shape: drop
+
+    def _rewrite_full_save(
+        self, doc_id: str, request: HttpRequest, form: dict[str, str]
+    ) -> HttpRequest:
+        engine = self.engine(doc_id)
+        plaintext = form[protocol.F_DOC_CONTENTS]
+        if engine.mirror is not None and engine.mirror.text == plaintext:
+            # A session-opening full save of unchanged content: re-send
+            # the mirror's existing ciphertext byte-identically (no
+            # gratuitous re-encryption; the server can dedup it).
+            ciphertext = engine.mirror.wire()
+        else:
+            ciphertext = engine.encrypt(plaintext)
+        self._note_version(doc_id, engine)
+        if self._stego:
+            from repro.encoding.stego import stego_wrap
+            ciphertext = stego_wrap(ciphertext)
+        fields = {**form, protocol.F_DOC_CONTENTS: ciphertext}
+        return self._finish_update(request, fields)
+
+    def _rewrite_delta_save(
+        self, doc_id: str, request: HttpRequest, form: dict[str, str]
+    ) -> HttpRequest:
+        engine = self.engine(doc_id)
+        delta = Delta.parse(form[protocol.F_DELTA])
+        delta = self._counter.shape_delta(delta)
+        cdelta = engine.mirror.apply_delta(delta) if engine.mirror else None
+        if cdelta is None:
+            # No mirror: the session never full-saved through us.
+            raise PasswordError(
+                f"no ciphertext mirror for {doc_id!r}; cannot transform "
+                "delta"
+            )
+        self._note_version(doc_id, engine)
+        if self._stego:
+            from repro.encoding.stego import stego_rewrite_cdelta
+            cdelta = stego_rewrite_cdelta(
+                cdelta, engine.mirror._header.wire_length
+            )
+        fields = {**form, protocol.F_DELTA: cdelta.serialize()}
+        return self._finish_update(request, fields)
+
+    def _finish_update(
+        self, request: HttpRequest, fields: dict[str, str]
+    ) -> HttpRequest:
+        fields = self._counter.pad_fields(fields)
+        delay = self._counter.delay()
+        if delay and self._clock is not None:
+            self._clock.advance(delay)
+        return request.with_form(fields)
+
+    # -- Mediator: incoming -------------------------------------------------
+
+    def on_response(
+        self, request: HttpRequest, response: HttpResponse
+    ) -> HttpResponse:
+        """Decrypt content on the return path; neutralize Ack fields."""
+        if not response.ok:
+            return response
+        doc_id = request.query.get("docID", "")
+        if request.method == "GET":
+            return self._decrypt_fetch(doc_id, response)
+        fields = response.form
+        if protocol.A_CONTENT_HASH in fields:
+            return self._neutralize_ack(doc_id, response, fields)
+        if protocol.F_SID in fields:
+            return self._decrypt_open(doc_id, response, fields)
+        return response
+
+    def _decrypt_fetch(
+        self, doc_id: str, response: HttpResponse
+    ) -> HttpResponse:
+        body = self._unwrap_if_stego(response.body)
+        if body is not response.body:
+            response = response.with_body(body)
+        if not looks_encrypted(response.body):
+            return response
+        plain = self._try_decrypt(doc_id, response.body)
+        if plain is None:
+            return response  # appears as ciphertext (wrong password)
+        return response.with_body(plain)
+
+    def _decrypt_open(
+        self, doc_id: str, response: HttpResponse, fields: dict[str, str]
+    ) -> HttpResponse:
+        content = self._unwrap_if_stego(fields.get(protocol.A_CONTENT, ""))
+        fields = {**fields, protocol.A_CONTENT: content}
+        if not looks_encrypted(content):
+            return response
+        plain = self._try_decrypt(doc_id, content)
+        if plain is None:
+            return response
+        return response.with_form({**fields, protocol.A_CONTENT: plain})
+
+    def _neutralize_ack(
+        self, doc_id: str, response: HttpResponse, fields: dict[str, str]
+    ) -> HttpResponse:
+        content = self._unwrap_if_stego(fields.get(protocol.A_CONTENT, ""))
+        if self._decrypt_acks and looks_encrypted(content):
+            plain = self._try_decrypt(doc_id, content)
+            if plain is not None:
+                return response.with_form({
+                    **fields,
+                    protocol.A_CONTENT: plain,
+                    protocol.A_CONTENT_HASH: protocol.content_hash(plain),
+                })
+        neutral = {
+            **fields,
+            protocol.A_CONTENT: protocol.NEUTRAL_CONTENT,
+            protocol.A_CONTENT_HASH: protocol.NEUTRAL_HASH,
+        }
+        if fields.get(protocol.A_MERGED) == "1":
+            # A merging server rebased our delta past concurrent edits.
+            # Without decrypt_acks we cannot resync the mirror from the
+            # Ack, and letting the client continue on a stale mirror
+            # would corrupt the stored ciphertext — downgrade to the
+            # paper's conflict behaviour (complain + full-save recovery).
+            neutral[protocol.A_MERGED] = "0"
+            neutral[protocol.A_CONFLICT] = "1"
+        return response.with_form(neutral)
+
+    def _try_decrypt(self, doc_id: str, wire_text: str) -> str | None:
+        engine = self.engine(doc_id)
+        try:
+            plain = engine.decrypt(wire_text)
+        except (DecryptionError, IntegrityError, CiphertextFormatError,
+                PasswordError) as exc:
+            self.warnings.append(f"{doc_id}: {exc}")
+            return None
+        try:
+            self._note_version(doc_id, engine, accepting=True)
+        except IntegrityError as exc:  # RollbackError
+            self.warnings.append(f"{doc_id}: {exc}")
+            return None
+        return plain
+
+    def _note_version(self, doc_id: str, engine: EncryptionEngine,
+                      accepting: bool = False) -> None:
+        """Track the RPC version counter through the freshness monitor."""
+        if self._freshness is None:
+            return
+        mirror = engine.mirror
+        version = getattr(mirror, "version", None)
+        if version is None:
+            return
+        if accepting:
+            self._freshness.check(doc_id, version)
+        self._freshness.observe(doc_id, version)
+
+    def _unwrap_if_stego(self, content: str) -> str:
+        from repro.encoding.stego import looks_stego, stego_unwrap
+        if looks_stego(content):
+            try:
+                return stego_unwrap(content)
+            except CiphertextFormatError as exc:
+                self.warnings.append(f"stego unwrap failed: {exc}")
+        return content

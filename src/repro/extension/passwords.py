@@ -1,0 +1,54 @@
+"""Per-document password management (SIV-C).
+
+When a protected document is loaded, the real extension "prompts the
+user with a dialog asking for various encryption parameters (e.g.,
+password and schemes)".  The :class:`PasswordVault` models that: a
+registry of known passwords plus an optional prompt callback standing in
+for the dialog.  Sharing an encrypted document means sharing the
+password out of band — so two users' vaults simply hold the same entry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PasswordError
+
+__all__ = ["PasswordVault"]
+
+
+class PasswordVault:
+    """Maps document identity → password, with a prompt fallback."""
+
+    def __init__(
+        self,
+        passwords: dict[str, str] | None = None,
+        prompt: Callable[[str], str | None] | None = None,
+    ):
+        self._passwords = dict(passwords or {})
+        self._prompt = prompt
+
+    def register(self, doc_id: str, password: str) -> None:
+        """Store a password (the 'set a password' dialog on create)."""
+        if not password:
+            raise PasswordError("password must be non-empty")
+        self._passwords[doc_id] = password
+
+    def forget(self, doc_id: str) -> None:
+        """Drop the stored password for ``doc_id``."""
+        self._passwords.pop(doc_id, None)
+
+    def knows(self, doc_id: str) -> bool:
+        """Is a password registered for ``doc_id``?"""
+        return doc_id in self._passwords
+
+    def get(self, doc_id: str) -> str:
+        """Password for ``doc_id``, prompting if unknown."""
+        if doc_id in self._passwords:
+            return self._passwords[doc_id]
+        if self._prompt is not None:
+            answer = self._prompt(doc_id)
+            if answer:
+                self._passwords[doc_id] = answer
+                return answer
+        raise PasswordError(f"no password available for {doc_id!r}")

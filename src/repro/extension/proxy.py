@@ -1,0 +1,85 @@
+"""Standalone-proxy deployment (SIII, interception option 1).
+
+"This is the most general approach, which could work for even
+non-browser applications ...  The main disadvantage of using a proxy is
+the difficulty in handling encrypted SSL/TLS communication."
+
+A :class:`MediatingProxy` is one process mediating *many* applications:
+it routes each request by host to the right upstream service and the
+right mediator (the same mediator objects the browser extension uses —
+deployment is orthogonal to mediation).  The TLS limitation is modelled
+honestly: an ``https://`` request is opaque to a proxy, and the policy
+for it is explicit — ``tls_policy="block"`` fails closed (private but
+broken), ``tls_policy="tunnel"`` passes it through unmediated (works
+but **leaks plaintext**, which the tests demonstrate).
+
+The browser-extension deployment (the paper's choice) does not have
+this problem because it hooks the browser *before* TLS encryption —
+exactly the reason the paper gives for choosing it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import BlockedRequestError
+from repro.net.channel import Mediator
+from repro.net.http import HttpRequest, HttpResponse
+
+__all__ = ["MediatingProxy"]
+
+Upstream = Callable[[HttpRequest], HttpResponse]
+
+
+class MediatingProxy:
+    """Routes and mediates requests for multiple services by host."""
+
+    def __init__(
+        self,
+        upstreams: dict[str, Upstream],
+        mediators: dict[str, Mediator],
+        tls_policy: str = "block",
+    ):
+        if tls_policy not in ("block", "tunnel"):
+            raise ValueError(f"unknown tls_policy {tls_policy!r}")
+        self._upstreams = upstreams
+        self._mediators = mediators
+        self.tls_policy = tls_policy
+        self.blocked: list[HttpRequest] = []
+        self.tunnelled: list[HttpRequest] = []
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        host = request.host
+        upstream = self._upstreams.get(host)
+        if upstream is None:
+            self.blocked.append(request)
+            return HttpResponse(502, f"proxy: unknown upstream {host!r}")
+
+        if request.url.startswith("https://"):
+            if self.tls_policy == "block":
+                self.blocked.append(request)
+                return HttpResponse(
+                    403,
+                    "proxy: TLS traffic cannot be mediated; blocked "
+                    "(fail closed)",
+                )
+            # tunnel: the proxy cannot see inside, so it cannot encrypt —
+            # the request reaches the provider exactly as the client
+            # sent it (i.e. plaintext).
+            self.tunnelled.append(request)
+            return upstream(request)
+
+        mediator = self._mediators.get(host)
+        if mediator is None:
+            self.blocked.append(request)
+            return HttpResponse(403, f"proxy: no mediator for {host!r}")
+
+        mediated = mediator.on_request(request)
+        if mediated is None:
+            self.blocked.append(request)
+            raise BlockedRequestError(
+                f"proxy dropped unrecognized request "
+                f"{request.method} {request.url}"
+            )
+        response = upstream(mediated)
+        return mediator.on_response(mediated, response)

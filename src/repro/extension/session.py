@@ -1,0 +1,106 @@
+"""PrivateEditingSession: the one-call user experience of SIV-C.
+
+"A user first installs the extension and activates it ... goes to
+docs.google.com and uses its existing interface ... The extension
+intercepts this request and prompts the user to set a password.  The
+newly created document is now an encrypted document."
+
+This module wires the whole stack — simulated server, channel with
+latency, extension mediator, and the oblivious client — behind one
+object, which is what the examples and macro-benchmarks drive.
+"""
+
+from __future__ import annotations
+
+from repro.client.gdocs_client import GDocsClient, SaveOutcome
+from repro.extension.countermeasures import Countermeasures
+from repro.extension.freshness import FreshnessMonitor
+from repro.extension.gdocs_ext import GDocsExtension
+from repro.extension.passwords import PasswordVault
+from repro.net.channel import Channel
+from repro.net.latency import LatencyModel
+from repro.services.gdocs.server import GDocsServer
+
+__all__ = ["PrivateEditingSession"]
+
+
+class PrivateEditingSession:
+    """A user editing one Google-Documents-style document privately."""
+
+    def __init__(
+        self,
+        doc_id: str,
+        password: str,
+        server: GDocsServer | None = None,
+        scheme: str = "recb",
+        block_chars: int = 8,
+        latency: LatencyModel | None = None,
+        countermeasures: Countermeasures | None = None,
+        extension_enabled: bool = True,
+        rng=None,
+        index_factory=None,
+        decrypt_acks: bool = False,
+        stego: bool = False,
+        freshness: FreshnessMonitor | None = None,
+    ):
+        self.server = server if server is not None else GDocsServer()
+        self.channel = Channel(self.server, latency=latency)
+        self.vault = PasswordVault({doc_id: password})
+        self.extension: GDocsExtension | None = None
+        if extension_enabled:
+            self.extension = GDocsExtension(
+                self.vault,
+                scheme=scheme,
+                block_chars=block_chars,
+                rng=rng,
+                index_factory=index_factory,
+                countermeasures=countermeasures,
+                clock=self.channel.clock,
+                decrypt_acks=decrypt_acks,
+                stego=stego,
+                freshness=freshness,
+            )
+            self.channel.set_mediator(self.extension)
+        self.client = GDocsClient(self.channel, doc_id)
+
+    # -- user actions, delegated to the oblivious client ----------------
+
+    def open(self) -> str:
+        """Open (or create) the document; returns its plaintext."""
+        return self.client.open()
+
+    def type_text(self, pos: int, text: str) -> None:
+        """User action: insert ``text`` at ``pos``."""
+        self.client.type_text(pos, text)
+
+    def delete_text(self, pos: int, count: int) -> None:
+        """User action: delete ``count`` characters at ``pos``."""
+        self.client.delete_text(pos, count)
+
+    def save(self) -> SaveOutcome:
+        """Autosave (full on the session's first save, delta after)."""
+        return self.client.save()
+
+    def close(self) -> None:
+        """Flush pending edits and end the session."""
+        self.client.close()
+
+    @property
+    def text(self) -> str:
+        """What the user sees."""
+        return self.client.editor.text
+
+    # -- inspection -------------------------------------------------------
+
+    def server_view(self) -> str:
+        """What the (untrusted) server stores for this document."""
+        return self.server.store.get(self.client.doc_id).content
+
+    @property
+    def complaints(self) -> list[str]:
+        return self.client.complaints
+
+    @property
+    def now(self) -> float:
+        """Simulated wall-clock (advanced by channel latency)."""
+        return self.channel.clock.now()

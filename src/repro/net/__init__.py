@@ -1,0 +1,20 @@
+"""Network substrate: message types, latency simulation, and the
+interceptable channel the extension hooks."""
+
+from repro.net.channel import Channel, Exchange, Mediator
+from repro.net.http import HttpRequest, HttpResponse, parse_url
+from repro.net.latency import INSTANT, LAN, WAN_2011, LatencyModel, SimClock
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "parse_url",
+    "Channel",
+    "Exchange",
+    "Mediator",
+    "LatencyModel",
+    "SimClock",
+    "WAN_2011",
+    "LAN",
+    "INSTANT",
+]

@@ -1,0 +1,140 @@
+"""The client↔server channel with mediation, taps, and tampering.
+
+This is the simulation's stand-in for the browser's network stack — the
+place where the 2011 Firefox extension hooked request observation.  A
+:class:`Channel` delivers :class:`HttpRequest` objects to a server
+callable and returns its :class:`HttpResponse`, with three hook points:
+
+* **mediator** — the trusted extension: may rewrite the outgoing
+  request, rewrite the incoming response, or *drop* the request
+  entirely (the fail-closed branch of Fig. 2);
+* **taps** — passive eavesdroppers (the paper notes many cloud servers
+  ran without SSL, so our adversary sees all traffic; the tap is how
+  the security harness collects what an adversary would);
+* **tamperers** — active network adversaries that mutate messages in
+  flight.
+
+Every exchange advances the simulated clock by the latency model's
+estimate, and is appended to ``exchange_log`` for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.errors import BlockedRequestError
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.latency import INSTANT, LatencyModel, SimClock
+
+__all__ = ["Mediator", "Channel", "Exchange"]
+
+
+class Mediator(Protocol):
+    """The extension's view of the traffic (both directions)."""
+
+    def on_request(self, request: HttpRequest) -> HttpRequest | None:
+        """Rewrite an outgoing request; return None to drop it."""
+        ...  # pragma: no cover
+
+    def on_response(
+        self, request: HttpRequest, response: HttpResponse
+    ) -> HttpResponse:
+        """Rewrite an incoming response."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """One completed request/response pair as seen on the wire
+    (post-mediation: what an eavesdropper observes)."""
+
+    request: HttpRequest
+    response: HttpResponse
+    sent_at: float
+    latency: float
+
+
+class Channel:
+    """Delivers requests to a server with mediation and observation."""
+
+    def __init__(
+        self,
+        server: Callable[[HttpRequest], HttpResponse],
+        latency: LatencyModel | None = None,
+        clock: SimClock | None = None,
+    ):
+        self._server = server
+        self._latency = latency if latency is not None else INSTANT()
+        self.clock = clock if clock is not None else SimClock()
+        self._mediator: Mediator | None = None
+        self._taps: list[Callable[[Exchange], None]] = []
+        self._request_tamperer: Callable[[HttpRequest], HttpRequest] | None = None
+        self._response_tamperer: Callable[[HttpResponse], HttpResponse] | None = None
+        self.exchange_log: list[Exchange] = []
+        self.blocked_log: list[HttpRequest] = []
+
+    # -- configuration ---------------------------------------------------
+
+    def set_mediator(self, mediator: Mediator | None) -> None:
+        """Install (or remove) the trusted extension."""
+        self._mediator = mediator
+
+    def add_tap(self, tap: Callable[[Exchange], None]) -> None:
+        """Attach a passive eavesdropper."""
+        self._taps.append(tap)
+
+    def set_tamperers(
+        self,
+        on_request: Callable[[HttpRequest], HttpRequest] | None = None,
+        on_response: Callable[[HttpResponse], HttpResponse] | None = None,
+    ) -> None:
+        """Attach an active network adversary."""
+        self._request_tamperer = on_request
+        self._response_tamperer = on_response
+
+    # -- delivery --------------------------------------------------------
+
+    def send(self, request: HttpRequest) -> HttpResponse:
+        """Run one full exchange.
+
+        Order matters and mirrors the deployment: the mediator sees the
+        *plaintext* client request before anything reaches the wire; the
+        adversary (taps/tamperers) sees only what leaves the mediator.
+        """
+        if self._mediator is not None:
+            mediated = self._mediator.on_request(request)
+            if mediated is None:
+                self.blocked_log.append(request)
+                raise BlockedRequestError(
+                    f"extension dropped unrecognized request "
+                    f"{request.method} {request.url}"
+                )
+            outgoing = mediated
+        else:
+            outgoing = request
+
+        if self._request_tamperer is not None:
+            outgoing = self._request_tamperer(outgoing)
+
+        response = self._server(outgoing)
+
+        if self._response_tamperer is not None:
+            response = self._response_tamperer(response)
+
+        latency = self._latency.request_latency(
+            outgoing.wire_bytes, response.wire_bytes
+        )
+        sent_at = self.clock.now()
+        self.clock.advance(latency)
+        exchange = Exchange(
+            request=outgoing, response=response,
+            sent_at=sent_at, latency=latency,
+        )
+        self.exchange_log.append(exchange)
+        for tap in self._taps:
+            tap(exchange)
+
+        if self._mediator is not None:
+            response = self._mediator.on_response(outgoing, response)
+        return response

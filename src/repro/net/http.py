@@ -1,0 +1,105 @@
+"""Minimal HTTP-shaped messages for the simulated services.
+
+The 2011 prototype intercepted real Firefox HTTP traffic; the simulation
+carries the same information in plain dataclasses: method, URL (with
+query), headers, and a text body (the services all use form-encoded or
+XML text bodies).  Nothing here does networking — delivery is the job
+of :mod:`repro.net.channel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.encoding.formenc import encode_form, parse_form
+from repro.errors import ProtocolError
+
+__all__ = ["HttpRequest", "HttpResponse", "parse_url"]
+
+
+def parse_url(url: str) -> tuple[str, str, dict[str, str]]:
+    """Split a URL into ``(host, path, query_params)``."""
+    rest = url
+    if "://" in rest:
+        scheme, _, rest = rest.partition("://")
+        if scheme not in ("http", "https"):
+            raise ProtocolError(f"unsupported scheme {scheme!r}")
+    host, slash, tail = rest.partition("/")
+    path = slash + tail
+    if not host:
+        raise ProtocolError(f"URL {url!r} has no host")
+    path, _, query = path.partition("?")
+    params = parse_form(query) if query else {}
+    return host, path or "/", params
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One client→server message."""
+
+    method: str
+    url: str
+    body: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def host(self) -> str:
+        return parse_url(self.url)[0]
+
+    @property
+    def path(self) -> str:
+        return parse_url(self.url)[1]
+
+    @property
+    def query(self) -> dict[str, str]:
+        return parse_url(self.url)[2]
+
+    @property
+    def form(self) -> dict[str, str]:
+        """The body parsed as a form (POST bodies in this protocol)."""
+        return parse_form(self.body)
+
+    def with_body(self, body: str) -> "HttpRequest":
+        """Copy of this request with a replaced body."""
+        return replace(self, body=body)
+
+    def with_form(self, fields: dict[str, str]) -> "HttpRequest":
+        """Copy of this request with a re-encoded form body."""
+        return self.with_body(encode_form(fields))
+
+    @property
+    def wire_bytes(self) -> int:
+        """Approximate on-the-wire size (for the latency model)."""
+        head = len(self.method) + len(self.url) + 12
+        head += sum(len(k) + len(v) + 4 for k, v in self.headers.items())
+        return head + len(self.body.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One server→client message."""
+
+    status: int
+    body: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def form(self) -> dict[str, str]:
+        return parse_form(self.body)
+
+    def with_body(self, body: str) -> "HttpResponse":
+        """Copy of this response with a replaced body."""
+        return replace(self, body=body)
+
+    def with_form(self, fields: dict[str, str]) -> "HttpResponse":
+        """Copy of this response with a re-encoded form body."""
+        return self.with_body(encode_form(fields))
+
+    @property
+    def wire_bytes(self) -> int:
+        head = 20 + sum(len(k) + len(v) + 4 for k, v in self.headers.items())
+        return head + len(self.body.encode("utf-8"))

@@ -1,0 +1,94 @@
+"""Simulated time and the network latency model.
+
+The macro-benchmarks (SVII-C) measure *end-to-end* save latency: crypto
+cost is real wall-clock time, while network and server time come from
+this model (there is no 2011 WAN to measure against).  The model makes
+the calibration explicit and tunable:
+
+    latency = RTT + server_time + transferred_bytes / bandwidth
+
+with RTT and server time drawn from truncated normal distributions.
+:data:`WAN_2011` approximates the paper's setting — a US broadband
+client speaking to Google over HTTP — with an ~80 ms RTT, ~20 ms of
+server processing, and ~1 MB/s of throughput.  The degradation
+percentages the benchmark reports depend on the ratio of crypto time
+to these numbers; EXPERIMENTS.md records the calibration used.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["SimClock", "LatencyModel", "WAN_2011", "LAN", "INSTANT"]
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}")
+        self._now += seconds
+        return self._now
+
+
+@dataclass
+class LatencyModel:
+    """Stochastic request-latency model.
+
+    Defaults approximate a 2011 broadband client talking to Google over
+    HTTP: ~80 ms RTT, ~100 ms server handling per save, ~4 MB/s
+    effective transfer.
+    """
+
+    rtt_mean: float = 0.080
+    rtt_jitter: float = 0.015
+    server_mean: float = 0.100
+    server_jitter: float = 0.020
+    bytes_per_second: float = 4_000_000.0
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+
+    def _positive_normal(self, mean: float, dev: float) -> float:
+        value = self.rng.gauss(mean, dev)
+        return max(value, mean * 0.25, 0.0)
+
+    def request_latency(self, request_bytes: int, response_bytes: int) -> float:
+        """Latency of one request/response exchange, in seconds."""
+        rtt = self._positive_normal(self.rtt_mean, self.rtt_jitter)
+        server = self._positive_normal(self.server_mean, self.server_jitter)
+        transfer = (request_bytes + response_bytes) / self.bytes_per_second
+        return rtt + server + transfer
+
+
+def WAN_2011(seed: int = 0) -> LatencyModel:
+    """The paper-era calibration: broadband client ↔ Google over HTTP."""
+    return LatencyModel(rng=random.Random(seed))
+
+
+def LAN(seed: int = 0) -> LatencyModel:
+    """A fast local network (stress-cases the crypto overhead)."""
+    return LatencyModel(
+        rtt_mean=0.002,
+        rtt_jitter=0.0005,
+        server_mean=0.002,
+        server_jitter=0.0005,
+        bytes_per_second=100_000_000.0,
+        rng=random.Random(seed),
+    )
+
+
+def INSTANT() -> LatencyModel:
+    """Zero-cost network (unit tests)."""
+    return LatencyModel(
+        rtt_mean=0.0, rtt_jitter=0.0, server_mean=0.0, server_jitter=0.0,
+        bytes_per_second=float("inf"), rng=random.Random(0),
+    )

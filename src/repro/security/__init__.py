@@ -1,0 +1,72 @@
+"""Security harness: adversary models, active-attack constructions,
+covert channels, and leakage quantification (SII, SVI)."""
+
+from repro.security.adversary import (
+    ActiveServerAdversary,
+    EavesdropperTap,
+    HonestButCuriousServer,
+    ObservedUpdate,
+)
+from repro.security.analysis import (
+    byte_uniformity,
+    equal_plaintext_distinct_ciphertext,
+    estimate_edit_position,
+    positional_error,
+    shannon_entropy_per_byte,
+    timing_granularity,
+)
+from repro.security.attacks import (
+    build_colliding_document,
+    excise_cancelling_segment,
+    flip_record_byte,
+    remove_record,
+    replicate_record,
+    splice_documents,
+    swap_records,
+    verify_without_length_amendment,
+)
+from repro.security.games import (
+    GameResult,
+    chosen_ciphertext_oracle_leaks_nothing,
+    chosen_plaintext_game,
+    ind_game,
+)
+from repro.security.covert import (
+    ChannelReport,
+    DeltaShapeChannel,
+    LengthChannel,
+    TimingChannel,
+    measure_channel,
+    random_symbols,
+)
+
+__all__ = [
+    "EavesdropperTap",
+    "ObservedUpdate",
+    "HonestButCuriousServer",
+    "ActiveServerAdversary",
+    "replicate_record",
+    "remove_record",
+    "swap_records",
+    "flip_record_byte",
+    "splice_documents",
+    "build_colliding_document",
+    "excise_cancelling_segment",
+    "verify_without_length_amendment",
+    "DeltaShapeChannel",
+    "LengthChannel",
+    "TimingChannel",
+    "ChannelReport",
+    "measure_channel",
+    "random_symbols",
+    "estimate_edit_position",
+    "positional_error",
+    "timing_granularity",
+    "byte_uniformity",
+    "equal_plaintext_distinct_ciphertext",
+    "shannon_entropy_per_byte",
+    "GameResult",
+    "ind_game",
+    "chosen_plaintext_game",
+    "chosen_ciphertext_oracle_leaks_nothing",
+]

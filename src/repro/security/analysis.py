@@ -1,0 +1,180 @@
+"""Quantifying what the adversary learns (SVI-A's concessions).
+
+The scheme's security analysis concedes two leaks and claims two
+mitigations; this module turns all four into measurements:
+
+* **positional leakage** — cdeltas expose *which records* changed, so
+  the server can estimate edit positions to within a block.  The paper
+  claims multi-character blocks blur this ("the precise information
+  about update positions is no longer revealed"):
+  :func:`positional_error` measures the estimation error as a function
+  of block size.
+* **timing leakage** — periodic autosaves quantize edit times:
+  :func:`timing_granularity` confirms the adversary sees only save
+  instants.
+* **ciphertext pseudorandomness** — :func:`byte_uniformity` runs a
+  chi-square statistic over ciphertext record bytes, and
+  :func:`equal_plaintext_distinct_ciphertext` confirms the nonce
+  randomization (identical plaintext blocks never produce identical
+  records).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.core.delta import Delta, Retain
+from repro.core.document import EncryptedDocument, create_document
+from repro.core.keys import KeyMaterial
+from repro.encoding import base32
+from repro.encoding.wire import RECORD_CHARS, split_header
+
+__all__ = [
+    "estimate_edit_position",
+    "positional_error",
+    "timing_granularity",
+    "byte_uniformity",
+    "equal_plaintext_distinct_ciphertext",
+    "shannon_entropy_per_byte",
+]
+
+
+def estimate_edit_position(cdelta: Delta, header_chars: int,
+                           block_chars: int) -> int:
+    """The adversary's best estimate of an edit's character position.
+
+    First rewritten record index × average block fill.  (The server
+    knows ``block_chars`` from the plaintext document header.)
+    """
+    cursor = 0
+    for op in cdelta.ops:
+        if isinstance(op, Retain):
+            cursor += op.count
+        else:
+            break
+    first_record = max(0, (cursor - header_chars) // RECORD_CHARS - 1)
+    return first_record * block_chars
+
+
+def positional_error(
+    document: EncryptedDocument,
+    trials: int,
+    seed: int = 0,
+) -> float:
+    """Mean |estimated − true| edit position over random 1-char inserts.
+
+    The document is copied implicitly — edits are applied and measured
+    in sequence, so the document evolves as a real one would.
+    """
+    rng = random.Random(seed)
+    header_chars = document.wire_length() - (
+        document.block_count + 2
+    ) * RECORD_CHARS  # approximation: header + bookkeeping prefix
+    errors = []
+    for _ in range(trials):
+        pos = rng.randint(0, document.char_length - 1)
+        cdelta = document.insert(pos, rng.choice("abcdefgh"))
+        estimate = estimate_edit_position(
+            cdelta, header_chars, document.block_chars
+        )
+        errors.append(abs(estimate - pos))
+    return sum(errors) / len(errors)
+
+
+def timing_granularity(edit_times: list[float],
+                       save_times: list[float]) -> float:
+    """The adversary's mean timing uncertainty per edit: distance from
+    each true edit instant to the save instant that revealed it."""
+    if not edit_times:
+        return 0.0
+    total = 0.0
+    for t in edit_times:
+        later = [s for s in save_times if s >= t]
+        total += (min(later) - t) if later else 0.0
+    return total / len(edit_times)
+
+
+def byte_uniformity(wire_text: str) -> float:
+    """Chi-square statistic (normalized) of ciphertext byte frequencies.
+
+    Decodes the record area back to bytes and compares the byte
+    histogram against uniform; returns the statistic divided by its
+    degrees of freedom (~1.0 for random data, >> 1 for structured)."""
+    _, area = split_header(wire_text)
+    raw = b"".join(
+        base32.decode(area[i : i + RECORD_CHARS])[1:]  # skip count header
+        for i in range(0, len(area), RECORD_CHARS)
+    )
+    if len(raw) < 512:
+        raise ValueError("need at least 512 ciphertext bytes to test")
+    counts = np.bincount(np.frombuffer(raw, dtype=np.uint8), minlength=256)
+    expected = len(raw) / 256.0
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    return chi2 / 255.0
+
+
+def equal_plaintext_distinct_ciphertext(
+    text_block: str,
+    repetitions: int,
+    key_material: KeyMaterial,
+    scheme: str = "recb",
+    rng=None,
+) -> bool:
+    """Encrypt a document of ``repetitions`` identical blocks; True iff
+    every ciphertext record is distinct (the randomization property a
+    deterministic ECB would fail)."""
+    doc = create_document(
+        text_block * repetitions,
+        key_material=key_material,
+        scheme=scheme,
+        block_chars=len(text_block),
+        rng=rng,
+    )
+    _, area = split_header(doc.wire())
+    records = {
+        area[i : i + RECORD_CHARS]
+        for i in range(0, len(area), RECORD_CHARS)
+    }
+    return len(records) == len(area) // RECORD_CHARS
+
+
+def encryption_score(content: str) -> float:
+    """A plausible server-side "this looks encrypted" detector.
+
+    Heuristics a provider could cheaply run over stored content: a PE1
+    wire header is a giveaway; otherwise an uppercase/digit wall with no
+    spaces (Base32 ciphertext) scores high while prose — and the stego
+    encoding of :mod:`repro.encoding.stego` — scores near zero.
+    Returns a score in [0, 1]; :data:`ENCRYPTION_THRESHOLD` is the
+    suggested rejection cut-off.
+    """
+    from repro.encoding.wire import looks_encrypted
+
+    if not content:
+        return 0.0
+    if looks_encrypted(content):
+        return 1.0
+    sample = content[:4096]
+    upper_digit = sum(
+        1 for ch in sample if ch.isupper() or ch.isdigit()
+    ) / len(sample)
+    space_ratio = sample.count(" ") / len(sample)
+    return min(1.0, 0.7 * upper_digit + 0.3 * (1.0 - min(space_ratio / 0.12, 1.0)))
+
+
+#: score above which a censoring server refuses to store content
+ENCRYPTION_THRESHOLD = 0.5
+
+
+def shannon_entropy_per_byte(wire_text: str) -> float:
+    """Empirical byte entropy of the ciphertext record area (bits)."""
+    _, area = split_header(wire_text)
+    raw = b"".join(
+        base32.decode(area[i : i + RECORD_CHARS])[1:]
+        for i in range(0, len(area), RECORD_CHARS)
+    )
+    counts = np.bincount(np.frombuffer(raw, dtype=np.uint8), minlength=256)
+    probs = counts[counts > 0] / len(raw)
+    return float(-(probs * np.log2(probs)).sum())

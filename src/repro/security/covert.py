@@ -1,0 +1,181 @@
+"""Covert channels of the malicious-client model (SVI-B), measurably.
+
+A malicious client cannot send plaintext — the mediator encrypts or
+drops everything — but it controls *how* it expresses its updates, and
+three properties of the encrypted traffic remain adversary-visible:
+
+* **delta shape** — the structure of the cdelta (how many records were
+  rewritten).  The paper's example encodes ``Ord(q)`` in redundant
+  operations; our variant encodes a symbol by deleting-and-reinserting
+  ``k`` characters of existing text (semantically a no-op, so the user
+  sees nothing, but the cdelta's patch size reveals ``k``).
+* **message length** — request body size modulated by invisible content.
+* **timing** — update send-times modulated to carry bits.
+
+Each channel is an encoder (malicious-client side) plus a decoder
+(server side, reading only adversary-visible observations), and
+:func:`measure_channel` reports its empirical accuracy with any
+:class:`~repro.extension.countermeasures.Countermeasures` configuration
+— the ablation quantifying the paper's mitigation claims.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.delta import Delete, Delta, Insert, Retain
+from repro.encoding.wire import RECORD_CHARS
+
+__all__ = [
+    "DeltaShapeChannel",
+    "LengthChannel",
+    "TimingChannel",
+    "measure_channel",
+]
+
+
+class DeltaShapeChannel:
+    """Encode symbols in the size of a semantically void patch.
+
+    To send symbol ``k`` (in 0..15) alongside a real edit, the client
+    deletes the first ``k * block_chars`` characters of the document and
+    reinserts them verbatim, then appends the real edit.  The document
+    is unchanged where the user didn't edit, but the server sees a
+    ``k``-times-larger rewritten record range at position 0.
+    """
+
+    SYMBOLS = 16
+
+    def __init__(self, block_chars: int = 8):
+        self._block_chars = block_chars
+
+    def encode(self, symbol: int, document: str, real_edit: Delta) -> Delta:
+        """Wrap ``real_edit`` in a churn prefix carrying ``symbol``."""
+        if not 0 <= symbol < self.SYMBOLS:
+            raise ValueError(f"symbol {symbol} out of range")
+        churn = symbol * self._block_chars
+        if churn > len(document):
+            raise ValueError("document too short to carry this symbol")
+        ops: list = []
+        if churn:
+            ops.append(Delete(churn))
+            ops.append(Insert(document[:churn]))
+        # Re-anchor the real edit after the churn prefix: its leading
+        # retain must not re-count the churned characters.
+        first, *rest = real_edit.ops or (None,)
+        if isinstance(first, Retain):
+            if first.count < churn:
+                raise ValueError(
+                    "real edit must start at or after the churn prefix"
+                )
+            if first.count > churn:
+                ops.append(Retain(first.count - churn))
+            ops.extend(rest)
+        elif first is not None:
+            if churn:
+                raise ValueError(
+                    "real edit must start at or after the churn prefix"
+                )
+            ops.append(first)
+            ops.extend(rest)
+        return Delta(ops)
+
+    def decode(self, cdelta: Delta, noise_floor: int = 0) -> int:
+        """Server side: symbol = records deleted, minus the calibrated
+        honest-edit noise floor (measure it by sending symbol 0 first)."""
+        deleted_records = sum(
+            op.count for op in cdelta.ops if isinstance(op, Delete)
+        ) // RECORD_CHARS
+        return max(0, min(self.SYMBOLS - 1, deleted_records - noise_floor))
+
+
+class LengthChannel:
+    """Encode one bit per save in the parity of invisible padding.
+
+    The malicious client appends trailing spaces to the document before
+    the save — one block's worth for a 1 bit, two blocks' worth for a 0
+    (invisible in any editor rendering, but enough to move the stored
+    record count).  The server reads the bit off the record-count
+    parity.
+    """
+
+    def __init__(self, block_chars: int = 8):
+        self._block_chars = block_chars
+
+    def encode(self, bit: int, document: str) -> str:
+        """Return the (invisibly) modified document to be saved."""
+        stripped = document.rstrip(" ")
+        pad = self._block_chars if bit else 2 * self._block_chars
+        # Align the visible text to a block boundary first so the pad
+        # occupies exactly 1 or 2 whole records.
+        remainder = len(stripped) % self._block_chars
+        if remainder:
+            pad += self._block_chars - remainder
+        return stripped + " " * pad
+
+    def decode(self, record_count: int) -> int:
+        """Server side: the padded document's record-count parity."""
+        return record_count % 2
+
+
+class TimingChannel:
+    """Encode bits in save timing: bit 1 = delay ~0.4 s, bit 0 = none."""
+
+    def __init__(self, bit_delay: float = 0.4, threshold: float = 0.2):
+        self.bit_delay = bit_delay
+        self._threshold = threshold
+
+    def encode_delay(self, bit: int) -> float:
+        """Extra delay the malicious client adds to encode ``bit``."""
+        return self.bit_delay if bit else 0.0
+
+    def decode(self, gap: float, base_gap: float) -> int:
+        """Server side: compare the observed inter-save gap to the
+        honest baseline."""
+        return 1 if gap - base_gap > self._threshold else 0
+
+
+@dataclass
+class ChannelReport:
+    """Outcome of a covert-channel measurement."""
+
+    symbols_sent: int
+    symbols_correct: int
+    bits_per_symbol: float
+
+    @property
+    def accuracy(self) -> float:
+        if self.symbols_sent == 0:
+            return 0.0
+        return self.symbols_correct / self.symbols_sent
+
+    @property
+    def effective_bits_per_update(self) -> float:
+        """Crude capacity estimate: perfect channel → bits_per_symbol,
+        coin-flip accuracy → ~0."""
+        edge = max(0.0, 2.0 * self.accuracy - 1.0)
+        return self.bits_per_symbol * edge
+
+
+def measure_channel(
+    send_and_observe,
+    symbols: list[int],
+    bits_per_symbol: float,
+) -> ChannelReport:
+    """Generic harness: ``send_and_observe(symbol) -> decoded_symbol``."""
+    correct = 0
+    for symbol in symbols:
+        if send_and_observe(symbol) == symbol:
+            correct += 1
+    return ChannelReport(
+        symbols_sent=len(symbols),
+        symbols_correct=correct,
+        bits_per_symbol=bits_per_symbol,
+    )
+
+
+def random_symbols(count: int, alphabet: int, seed: int = 0) -> list[int]:
+    """Deterministic random symbol sequence for channel measurements."""
+    rng = random.Random(seed)
+    return [rng.randrange(alphabet) for _ in range(count)]

@@ -1,0 +1,25 @@
+"""Simulated cloud editing services: Google Documents, Mozilla Bespin,
+Adobe Buzzword.  Each server is a plain ``HttpRequest -> HttpResponse``
+callable that stores submitted content literally (the paper's server
+assumption), suitable for plugging into :class:`repro.net.Channel`."""
+
+from repro.services.bespin import BespinServer
+from repro.services.buzzword import BuzzwordServer
+from repro.services.gdocs.server import GDocsServer
+from repro.services.gdocs.storage import (
+    MAX_DOCUMENT_CHARS,
+    DocumentStore,
+    StoredDocument,
+)
+from repro.services.replicated import FlakyServer, ReplicatedService
+
+__all__ = [
+    "GDocsServer",
+    "BespinServer",
+    "BuzzwordServer",
+    "DocumentStore",
+    "StoredDocument",
+    "MAX_DOCUMENT_CHARS",
+    "ReplicatedService",
+    "FlakyServer",
+]

@@ -1,0 +1,62 @@
+"""Simulated Mozilla Bespin: cloud code editing with whole-file PUTs.
+
+SIII: "It simply uses HTTP PUT requests to send user content back to
+the server stored as a file.  No incremental update mechanisms are
+found in Bespin."  The open server API stores files under
+``/file/at/<project>/<path>``; GET retrieves, PUT stores, and a listing
+endpoint enumerates a project — that is the entire surface the
+extension must cover.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.formenc import encode_form
+from repro.net.http import HttpRequest, HttpResponse
+
+__all__ = ["BespinServer", "HOST", "file_url", "put_request", "get_request"]
+
+HOST = "bespin.mozilla.com"
+_FILE_PREFIX = "/file/at/"
+_LIST_PREFIX = "/file/list/"
+
+
+def file_url(path: str) -> str:
+    """Absolute URL of a Bespin file path."""
+    return f"http://{HOST}{_FILE_PREFIX}{path}"
+
+
+def put_request(path: str, content: str) -> HttpRequest:
+    """Save a file (the only write operation in the Bespin protocol)."""
+    return HttpRequest("PUT", file_url(path), body=content)
+
+
+def get_request(path: str) -> HttpRequest:
+    """Fetch a file."""
+    return HttpRequest("GET", file_url(path))
+
+
+class BespinServer:
+    """Callable endpoint storing files literally."""
+
+    def __init__(self) -> None:
+        self.files: dict[str, str] = {}
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        path = request.path
+        if path.startswith(_FILE_PREFIX):
+            name = path[len(_FILE_PREFIX):]
+            if request.method == "PUT":
+                self.files[name] = request.body
+                return HttpResponse(200, "")
+            if request.method == "GET":
+                if name not in self.files:
+                    return HttpResponse(404, "no such file")
+                return HttpResponse(200, self.files[name])
+            if request.method == "DELETE":
+                self.files.pop(name, None)
+                return HttpResponse(200, "")
+        if path.startswith(_LIST_PREFIX) and request.method == "GET":
+            prefix = path[len(_LIST_PREFIX):]
+            names = sorted(n for n in self.files if n.startswith(prefix))
+            return HttpResponse(200, encode_form({"files": "\n".join(names)}))
+        return HttpResponse(404, f"unknown endpoint {request.method} {path}")

@@ -1,0 +1,115 @@
+"""Simulated Adobe Buzzword: whole-document XML POSTs.
+
+SIII: "On every update, the client sends back the whole document content
+as a XML file encapsulated in a HTTP POST request.  By encrypting the
+text embedded in ``<textRun>`` tags, we keep submitted document content
+secure."  The server stores the XML literally and serves it back; a
+word-count endpoint demonstrates a server feature that reads the text
+runs (and therefore breaks under encryption).
+
+A tiny XML helper layer (escape/unescape + textRun splicing) lives here
+too; both the server and the Buzzword extension use it, so they agree
+on the exact framing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.encoding.formenc import encode_form
+from repro.errors import ProtocolError
+from repro.net.http import HttpRequest, HttpResponse
+
+__all__ = [
+    "BuzzwordServer", "HOST",
+    "xml_escape", "xml_unescape",
+    "document_xml", "text_runs", "map_text_runs",
+    "post_request", "get_request",
+]
+
+HOST = "buzzword.acrobat.com"
+_DOC_PREFIX = "/doc/"
+_TEXTRUN = re.compile(r"<textRun>(.*?)</textRun>", re.DOTALL)
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+
+
+def xml_escape(text: str) -> str:
+    """Escape ``& < >`` for embedding text in XML."""
+    for char, entity in _ESCAPES:
+        text = text.replace(char, entity)
+    return text
+
+
+def xml_unescape(text: str) -> str:
+    """Invert :func:`xml_escape`."""
+    for char, entity in reversed(_ESCAPES):
+        text = text.replace(entity, char)
+    return text
+
+
+def document_xml(paragraphs: list[str]) -> str:
+    """Render paragraphs as the Buzzword document body."""
+    runs = "".join(
+        f"<p><textRun>{xml_escape(p)}</textRun></p>" for p in paragraphs
+    )
+    return f"<doc>{runs}</doc>"
+
+
+def text_runs(xml: str) -> list[str]:
+    """Extract the (unescaped) text of every ``<textRun>``."""
+    return [xml_unescape(m.group(1)) for m in _TEXTRUN.finditer(xml)]
+
+
+def map_text_runs(xml: str, transform: Callable[[str], str]) -> str:
+    """Rewrite every ``<textRun>`` body through ``transform``.
+
+    ``transform`` receives and returns *unescaped* text; the structure
+    of the document (tags, attributes, ordering) is untouched — exactly
+    the extension's contract.
+    """
+    def replace(match: re.Match[str]) -> str:
+        inner = xml_unescape(match.group(1))
+        return f"<textRun>{xml_escape(transform(inner))}</textRun>"
+
+    return _TEXTRUN.sub(replace, xml)
+
+
+def post_request(doc_id: str, xml: str) -> HttpRequest:
+    """Save the whole document (Buzzword's only update operation)."""
+    return HttpRequest("POST", f"http://{HOST}{_DOC_PREFIX}{doc_id}",
+                       body=xml)
+
+
+def get_request(doc_id: str) -> HttpRequest:
+    """Fetch a document."""
+    return HttpRequest("GET", f"http://{HOST}{_DOC_PREFIX}{doc_id}")
+
+
+class BuzzwordServer:
+    """Callable endpoint storing document XML literally."""
+
+    def __init__(self) -> None:
+        self.documents: dict[str, str] = {}
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        path = request.path
+        if not path.startswith(_DOC_PREFIX):
+            return HttpResponse(404, f"unknown endpoint {path}")
+        doc_id = path[len(_DOC_PREFIX):]
+        if request.method == "POST":
+            if "<doc>" not in request.body:
+                raise ProtocolError("Buzzword save must carry a <doc> body")
+            self.documents[doc_id] = request.body
+            return HttpResponse(200, "")
+        if request.method == "GET":
+            if doc_id.endswith("/wordcount"):
+                real_id = doc_id[: -len("/wordcount")]
+                xml = self.documents.get(real_id, "")
+                words = sum(len(run.split()) for run in text_runs(xml))
+                return HttpResponse(200, encode_form({"words": str(words)}))
+            if doc_id not in self.documents:
+                return HttpResponse(404, "no such document")
+            return HttpResponse(200, self.documents[doc_id])
+        return HttpResponse(405, f"method {request.method} not allowed")

@@ -1,0 +1,6 @@
+"""Simulated Google Documents: protocol, storage, server (SIV)."""
+
+from repro.services.gdocs.server import GDocsServer
+from repro.services.gdocs.storage import DocumentStore, StoredDocument
+
+__all__ = ["GDocsServer", "DocumentStore", "StoredDocument"]

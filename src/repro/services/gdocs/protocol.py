@@ -1,0 +1,144 @@
+"""The reverse-engineered Google Documents save protocol (SIV-A).
+
+The paper documents these observations, all reproduced here:
+
+* opening a document starts an *edit session* via
+  ``POST /Doc?docID=<id>``;
+* within a session the **first** save POSTs the whole document in the
+  ``docContents`` form field;
+* every subsequent save carries only a ``delta`` field (the incremental
+  language of :mod:`repro.core.delta`);
+* the server answers every content update with an **Ack** carrying
+  ``contentFromServer`` and ``contentFromServerHash`` — the current
+  content to the best of the server's knowledge.  (The paper found a
+  single-user client works flawlessly when these are replaced by the
+  empty string and ``0``.)
+
+This module is the single place the field names and message shapes are
+defined; the server, the benign client, and the extension all build and
+parse messages through it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.encoding.formenc import encode_form
+from repro.errors import ProtocolError
+from repro.net.http import HttpRequest, HttpResponse
+
+__all__ = [
+    "DOC_PATH", "HOST",
+    "F_DOC_CONTENTS", "F_DELTA", "F_SID", "F_REV", "F_ACTION",
+    "A_STATUS", "A_REV", "A_CONTENT", "A_CONTENT_HASH", "A_CONFLICT",
+    "A_MERGED",
+    "NEUTRAL_CONTENT", "NEUTRAL_HASH",
+    "content_hash", "Ack",
+    "open_request", "full_save_request", "delta_save_request",
+    "fetch_request", "feature_request",
+]
+
+HOST = "docs.google.com"
+DOC_PATH = "/Doc"
+
+# request form fields
+F_DOC_CONTENTS = "docContents"
+F_DELTA = "delta"
+F_SID = "sid"
+F_REV = "rev"
+F_ACTION = "action"
+
+# ack response fields
+A_STATUS = "status"
+A_REV = "rev"
+A_CONTENT = "contentFromServer"
+A_CONTENT_HASH = "contentFromServerHash"
+A_CONFLICT = "conflict"
+A_MERGED = "merged"
+
+#: what the extension substitutes into Acks (SIV-A: empty string / 0)
+NEUTRAL_CONTENT = ""
+NEUTRAL_HASH = "0"
+
+
+def content_hash(content: str) -> str:
+    """The hash the server computes over its stored content."""
+    return hashlib.sha1(content.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Parsed server acknowledgement of a content update."""
+
+    status: str
+    rev: int
+    content_from_server: str
+    content_from_server_hash: str
+    conflict: bool
+    merged: bool = False
+
+    @classmethod
+    def from_response(cls, response: HttpResponse) -> "Ack":
+        fields = response.form
+        try:
+            return cls(
+                status=fields[A_STATUS],
+                rev=int(fields[A_REV]),
+                content_from_server=fields[A_CONTENT],
+                content_from_server_hash=fields[A_CONTENT_HASH],
+                conflict=fields.get(A_CONFLICT, "0") == "1",
+                merged=fields.get(A_MERGED, "0") == "1",
+            )
+        except KeyError as exc:
+            raise ProtocolError(f"Ack missing field {exc}") from None
+
+
+def _doc_url(doc_id: str, **params: str) -> str:
+    query = encode_form({"docID": doc_id, **params})
+    return f"http://{HOST}{DOC_PATH}?{query}"
+
+
+def open_request(doc_id: str) -> HttpRequest:
+    """Start (or join) an edit session for ``doc_id``."""
+    return HttpRequest("POST", _doc_url(doc_id), body="")
+
+
+def full_save_request(doc_id: str, sid: str, rev: int,
+                      content: str) -> HttpRequest:
+    """The first save of a session: whole contents in ``docContents``."""
+    return HttpRequest(
+        "POST",
+        _doc_url(doc_id),
+        body=encode_form({
+            F_SID: sid,
+            F_REV: str(rev),
+            F_DOC_CONTENTS: content,
+        }),
+    )
+
+
+def delta_save_request(doc_id: str, sid: str, rev: int,
+                       delta_text: str) -> HttpRequest:
+    """A subsequent save: only the difference, in ``delta``."""
+    return HttpRequest(
+        "POST",
+        _doc_url(doc_id),
+        body=encode_form({
+            F_SID: sid,
+            F_REV: str(rev),
+            F_DELTA: delta_text,
+        }),
+    )
+
+
+def fetch_request(doc_id: str) -> HttpRequest:
+    """Download the stored document (document open / passive refresh)."""
+    return HttpRequest("GET", _doc_url(doc_id))
+
+
+def feature_request(doc_id: str, action: str, **fields: str) -> HttpRequest:
+    """A server-side feature call (spellcheck, translate, export,
+    drawing...) — the requests the extension must block."""
+    body = encode_form(fields) if fields else ""
+    return HttpRequest("POST", _doc_url(doc_id, action=action), body=body)

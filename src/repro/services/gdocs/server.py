@@ -1,0 +1,274 @@
+"""The simulated Google Documents server.
+
+Implements the protocol of :mod:`repro.services.gdocs.protocol` over the
+literal store of :mod:`repro.services.gdocs.storage`:
+
+* session management (``POST /Doc?docID=...`` opens a session);
+* full saves (``docContents``) and incremental saves (``delta``);
+* Ack responses carrying ``contentFromServer`` / ``contentFromServerHash``;
+* a conservative conflict rule: a delta whose base revision is stale is
+  rejected with ``conflict=1`` (the real server ran operational
+  transforms; rejection models the *client-visible* outcome — the
+  resync dance — without reimplementing Google's merge);
+* the server-side features the extension must break: spell checking,
+  translation, export, and drawing (SVII-A's functionality losses), all
+  of which read the *stored* content — which is exactly why they stop
+  working once the store holds ciphertext.
+
+The server is a plain callable ``HttpRequest -> HttpResponse`` so it
+plugs straight into :class:`repro.net.channel.Channel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.encoding.formenc import encode_form
+from repro.errors import ProtocolError, QuotaExceededError
+from repro.net.http import HttpRequest, HttpResponse
+from repro.services.gdocs import protocol
+from repro.services.gdocs.storage import DocumentStore, StoredDocument
+from repro.workloads.text import WORDS
+
+__all__ = ["GDocsServer", "EditSession"]
+
+
+class EditSession:
+    """One client's edit session on one document."""
+
+    def __init__(self, sid: str, doc_id: str):
+        self.sid = sid
+        self.doc_id = doc_id
+        self.saw_full_save = False
+
+
+class GDocsServer:
+    """A callable HTTP endpoint implementing the gdocs protocol.
+
+    ``reject_encrypted=True`` models the hostile provider of SVI-A that
+    "could recognize the use of encryption and refuse to store any
+    content that appears to be encrypted" — saves whose resulting
+    content trips :func:`repro.security.analysis.encryption_score` are
+    refused with 403.  The steganographic mode of the extension exists
+    to defeat exactly this policy.
+    """
+
+    def __init__(self, store: DocumentStore | None = None,
+                 reject_encrypted: bool = False,
+                 merge_concurrent: bool = False):
+        self.store = store if store is not None else DocumentStore()
+        self.reject_encrypted = reject_encrypted
+        #: merge stale deltas via operational transformation instead of
+        #: rejecting them (what the real 2011 server did)
+        self.merge_concurrent = merge_concurrent
+        self._sessions: dict[str, EditSession] = {}
+        self._sid_counter = itertools.count(1)
+        self.merges_performed = 0
+
+    def _censor(self, content: str) -> HttpResponse | None:
+        if not self.reject_encrypted:
+            return None
+        from repro.security.analysis import (
+            ENCRYPTION_THRESHOLD,
+            encryption_score,
+        )
+        if encryption_score(content) > ENCRYPTION_THRESHOLD:
+            return _error(403, "content appears to be encrypted; refused")
+        return None
+
+    # -- dispatch -------------------------------------------------------
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        try:
+            return self._dispatch(request)
+        except QuotaExceededError as exc:
+            return _error(413, str(exc))
+        except ProtocolError as exc:
+            return _error(400, str(exc))
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        if request.path != protocol.DOC_PATH:
+            return _error(404, f"no such path {request.path!r}")
+        params = request.query
+        doc_id = params.get("docID")
+        if not doc_id:
+            return _error(400, "missing docID")
+
+        action = params.get("action")
+        if request.method == "GET":
+            return self._fetch(doc_id)
+        if request.method != "POST":
+            return _error(405, f"method {request.method} not allowed")
+        if action:
+            return self._feature(doc_id, action, request)
+
+        form = request.form if request.body else {}
+        if protocol.F_DOC_CONTENTS in form:
+            return self._full_save(doc_id, form)
+        if protocol.F_DELTA in form:
+            return self._delta_save(doc_id, form)
+        return self._open(doc_id)
+
+    # -- session & saves -----------------------------------------------
+
+    def _open(self, doc_id: str) -> HttpResponse:
+        doc = self.store.get_or_create(doc_id)
+        sid = f"s{next(self._sid_counter)}"
+        self._sessions[sid] = EditSession(sid, doc_id)
+        return HttpResponse(200, encode_form({
+            protocol.F_SID: sid,
+            protocol.A_REV: str(doc.revision),
+            protocol.A_CONTENT: doc.content,
+        }))
+
+    def _session(self, form: dict[str, str], doc_id: str) -> EditSession:
+        sid = form.get(protocol.F_SID, "")
+        session = self._sessions.get(sid)
+        if session is None or session.doc_id != doc_id:
+            raise ProtocolError(f"invalid session {sid!r} for {doc_id!r}")
+        return session
+
+    def _full_save(self, doc_id: str, form: dict[str, str]) -> HttpResponse:
+        session = self._session(form, doc_id)
+        content = form[protocol.F_DOC_CONTENTS]
+        refused = self._censor(content)
+        if refused is not None:
+            return refused
+        doc = self.store.get(doc_id)
+        if content == doc.content:
+            # Identical re-upload (typically a session's opening save):
+            # no new revision — keeps merge windows across sessions open.
+            session.saw_full_save = True
+            return self._ack(doc, conflict=False)
+        doc = self.store.set_content(doc_id, content)
+        session.saw_full_save = True
+        return self._ack(doc, conflict=False)
+
+    def _delta_save(self, doc_id: str, form: dict[str, str]) -> HttpResponse:
+        session = self._session(form, doc_id)
+        if not session.saw_full_save:
+            raise ProtocolError(
+                "protocol violation: delta save before the session's "
+                "full save"
+            )
+        doc = self.store.get(doc_id)
+        base_rev = int(form.get(protocol.F_REV, "-1"))
+        if base_rev != doc.revision:
+            if self.merge_concurrent and 0 <= base_rev < doc.revision:
+                merged = self._merge_stale_delta(doc_id, base_rev, form)
+                if merged is not None:
+                    return merged
+            # Someone else advanced the document: reject and let the
+            # client resync from contentFromServer.
+            return self._ack(doc, conflict=True)
+        if self.reject_encrypted:
+            from repro.core.delta import Delta
+            candidate = Delta.parse(form[protocol.F_DELTA]).apply(doc.content)
+            refused = self._censor(candidate)
+            if refused is not None:
+                return refused
+        doc = self.store.apply_delta(doc_id, form[protocol.F_DELTA])
+        return self._ack(doc, conflict=False, echo_content=False)
+
+    def _merge_stale_delta(self, doc_id: str, base_rev: int,
+                           form: dict[str, str]) -> HttpResponse | None:
+        """Transform a stale delta past the concurrent updates and apply
+        it (what the real server's collaboration machinery did).
+
+        Returns None when merging is impossible (a full save intervened
+        or the transformed delta no longer fits), in which case the
+        caller falls back to the conflict path.
+        """
+        from repro.core.delta import Delta
+        from repro.core.ot import compose, transform
+        from repro.errors import DeltaError
+
+        doc = self.store.get(doc_id)
+        concurrent = doc.deltas_since(base_rev)
+        if concurrent is None:
+            return None
+        try:
+            incoming = Delta.parse(form[protocol.F_DELTA])
+            against = Delta(())
+            for delta_text in concurrent:
+                against = compose(against, Delta.parse(delta_text))
+            rebased = transform(incoming, against, priority="right")
+            if self.reject_encrypted:
+                refused = self._censor(rebased.apply(doc.content))
+                if refused is not None:
+                    return refused
+            doc = self.store.apply_delta(doc_id, rebased.serialize())
+        except DeltaError:
+            return None
+        self.merges_performed += 1
+        # Echo the merged content so the stale client can resync.
+        return self._ack(doc, conflict=False, echo_content=True,
+                         merged=True)
+
+    def _ack(self, doc: StoredDocument, conflict: bool,
+             echo_content: bool = True, merged: bool = False) -> HttpResponse:
+        """Acknowledge an update with contentFromServer(Hash).
+
+        The full content is echoed on full saves and on conflicts (the
+        client needs it to resync); a routine delta Ack carries only the
+        hash — echoing a multi-hundred-kB ciphertext on every autosave
+        would make the macro-benchmark measure transfer, not the scheme
+        (see DESIGN.md, substitution table).
+        """
+        return HttpResponse(200, encode_form({
+            protocol.A_STATUS: "ok",
+            protocol.A_REV: str(doc.revision),
+            protocol.A_CONTENT: doc.content if (echo_content or conflict) else "",
+            protocol.A_CONTENT_HASH: protocol.content_hash(doc.content),
+            protocol.A_CONFLICT: "1" if conflict else "0",
+            protocol.A_MERGED: "1" if merged else "0",
+        }))
+
+    def _fetch(self, doc_id: str) -> HttpResponse:
+        doc = self.store.get(doc_id)
+        return HttpResponse(200, doc.content, headers={
+            protocol.A_REV: str(doc.revision),
+        })
+
+    # -- server-side features (broken by design under encryption) --------
+
+    def _feature(self, doc_id: str, action: str,
+                 request: HttpRequest) -> HttpResponse:
+        doc = self.store.get(doc_id)
+        if action == "spellcheck":
+            return HttpResponse(200, encode_form({
+                "misspelled": " ".join(_misspelled(doc.content)),
+            }))
+        if action == "translate":
+            return HttpResponse(200, _mock_translate(doc.content))
+        if action == "export":
+            return HttpResponse(
+                200,
+                "{\\rtf1 " + doc.content.replace("\n", "\\par ") + "}",
+                headers={"Content-Type": "application/rtf"},
+            )
+        if action == "drawing":
+            primitives = request.form.get("primitives", "")
+            return HttpResponse(200, f"PNG[{len(primitives)} ops]",
+                                headers={"Content-Type": "image/png"})
+        return _error(400, f"unknown action {action!r}")
+
+
+def _misspelled(content: str) -> list[str]:
+    """Words outside the service's dictionary (the workload vocabulary)."""
+    vocabulary = set(WORDS)
+    seen: list[str] = []
+    for token in content.split():
+        word = token.strip(".,;:!?").lower()
+        if word and word not in vocabulary and word not in seen:
+            seen.append(word)
+    return seen
+
+
+def _mock_translate(content: str) -> str:
+    """A stand-in 'translation': word-reversal, obviously content-dependent."""
+    return " ".join(word[::-1] for word in content.split())
+
+
+def _error(status: int, message: str) -> HttpResponse:
+    return HttpResponse(status, encode_form({"error": message}))

@@ -1,0 +1,124 @@
+"""Server-side document storage.
+
+The paper's server assumption (SVI-A): "the server stores user-submitted
+content literally" — whatever text arrives, that text is stored and
+returned.  That is what makes the ciphertext-document trick possible,
+and this store behaves exactly that way.
+
+Two deliberately adversarial details are modelled because the paper's
+threat analysis depends on them:
+
+* **revision history** — the server keeps every prior version (the
+  paper cites Google Docs leaking information about previous versions
+  [1]); the honest-but-curious adversary gets to read it;
+* **quota** — Google enforced a maximum file size of 500 kB, which is
+  why ciphertext blow-up matters (SV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.delta import Delta
+from repro.errors import (
+    DeltaApplicationError,
+    ProtocolError,
+    QuotaExceededError,
+)
+
+__all__ = ["MAX_DOCUMENT_CHARS", "StoredDocument", "DocumentStore"]
+
+#: Google's 2011 cap: 500 kilobytes of stored document text
+MAX_DOCUMENT_CHARS = 500_000
+
+
+@dataclass
+class StoredDocument:
+    """One document as the server sees it (possibly ciphertext)."""
+
+    doc_id: str
+    content: str = ""
+    revision: int = 0
+    history: list[str] = field(default_factory=list)
+    #: per committed revision, the delta that produced it (None = full
+    #: save); consumed by the merging server's transform path
+    ops_log: list[str | None] = field(default_factory=list)
+
+    def _commit(self, new_content: str, op: str | None = None) -> None:
+        if len(new_content) > MAX_DOCUMENT_CHARS:
+            raise QuotaExceededError(
+                f"document {self.doc_id!r} would be {len(new_content)} "
+                f"chars; limit is {MAX_DOCUMENT_CHARS}"
+            )
+        self.history.append(self.content)
+        self.ops_log.append(op)
+        self.content = new_content
+        self.revision += 1
+
+    def deltas_since(self, revision: int) -> list[str] | None:
+        """Deltas that took ``revision`` to the current revision, or
+        None if a full save intervened (transforming past it is
+        impossible)."""
+        window = self.ops_log[revision:]
+        if any(op is None for op in window):
+            return None
+        return list(window)
+
+
+class DocumentStore:
+    """All documents held by one server instance."""
+
+    def __init__(self) -> None:
+        self._docs: dict[str, StoredDocument] = {}
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._docs
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def create(self, doc_id: str, content: str = "") -> StoredDocument:
+        """Create a new (empty by default) document."""
+        if doc_id in self._docs:
+            raise ProtocolError(f"document {doc_id!r} already exists")
+        doc = StoredDocument(doc_id=doc_id, content=content)
+        self._docs[doc_id] = doc
+        return doc
+
+    def get(self, doc_id: str) -> StoredDocument:
+        """Look up a document; ProtocolError when missing."""
+        try:
+            return self._docs[doc_id]
+        except KeyError:
+            raise ProtocolError(f"no document {doc_id!r}") from None
+
+    def get_or_create(self, doc_id: str) -> StoredDocument:
+        """Look up a document, creating it when missing."""
+        if doc_id not in self._docs:
+            return self.create(doc_id)
+        return self._docs[doc_id]
+
+    def set_content(self, doc_id: str, content: str) -> StoredDocument:
+        """Full replace (the ``docContents`` save path)."""
+        doc = self.get(doc_id)
+        doc._commit(content)
+        return doc
+
+    def apply_delta(self, doc_id: str, delta_text: str) -> StoredDocument:
+        """Apply a delta to the stored text.
+
+        The server parses the delta purely *structurally* — it never
+        interprets the content, so an encrypted cdelta applies exactly
+        like a plaintext delta.
+        """
+        doc = self.get(doc_id)
+        try:
+            new_content = Delta.parse(delta_text).apply(doc.content)
+        except DeltaApplicationError as exc:
+            raise ProtocolError(f"delta does not fit document: {exc}") from exc
+        doc._commit(new_content, op=delta_text)
+        return doc
+
+    def doc_ids(self) -> list[str]:
+        """Sorted ids of every stored document."""
+        return sorted(self._docs)

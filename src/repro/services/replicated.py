@@ -1,0 +1,270 @@
+"""Multi-provider replication (the availability extension).
+
+The paper's introduction concedes: "a malicious or incompetent cloud
+provider can easily prevent users from accessing their documents.  This
+could be addressed using replication with multiple cloud providers, but
+this is outside the scope of this paper."  This module builds that
+replication — entirely client-side, requiring nothing from providers,
+in the spirit of the rest of the system.
+
+:class:`ReplicatedService` is itself an ``HttpRequest -> HttpResponse``
+callable, so it slots in wherever one Google-Documents server would:
+the extension and client above it are unchanged and unaware.  It fans
+every update out to N independent backends and reads with majority
+voting.
+
+Mechanics worth noting:
+
+* each backend issues its own session ids and revision numbers, so the
+  facade maintains per-backend ``sid``/``rev`` maps and rewrites those
+  form fields per backend — the client sees one logical session;
+* a backend that errors or misses updates is marked **degraded** and is
+  *healed* on a later save by copying the current (ciphertext!) content
+  from a healthy backend — possible precisely because replication never
+  needs to understand the data;
+* reads return the majority body; disagreeing minorities are logged in
+  ``divergences`` (an actively mismatching provider is adversary
+  behaviour the caller may want to know about);
+* writes succeed iff at least ``quorum`` backends acknowledged.
+
+:class:`FlakyServer` wraps any backend with scriptable outages for the
+availability tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.encoding.formenc import encode_form
+from repro.net.http import HttpRequest, HttpResponse
+from repro.services.gdocs import protocol
+
+__all__ = ["ReplicatedService", "FlakyServer"]
+
+Backend = Callable[[HttpRequest], HttpResponse]
+
+
+class FlakyServer:
+    """Wraps a backend with scriptable unavailability."""
+
+    def __init__(self, backend: Backend):
+        self._backend = backend
+        self._down_for = 0
+        self.requests_refused = 0
+
+    def outage(self, requests: int) -> None:
+        """Refuse the next ``requests`` requests."""
+        self._down_for += requests
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        if self._down_for > 0:
+            self._down_for -= 1
+            self.requests_refused += 1
+            return HttpResponse(503, encode_form({
+                "error": "service unavailable",
+            }))
+        return self._backend(request)
+
+
+@dataclass
+class _BackendDocState:
+    sid: str | None = None
+    rev: int = -1
+    degraded: bool = False
+
+
+@dataclass
+class _BackendSlot:
+    backend: Backend
+    docs: dict[str, _BackendDocState] = field(default_factory=dict)
+
+    def doc(self, doc_id: str) -> _BackendDocState:
+        return self.docs.setdefault(doc_id, _BackendDocState())
+
+
+class ReplicatedService:
+    """One logical document service over N independent backends."""
+
+    def __init__(self, backends: list[Backend], quorum: int | None = None):
+        if not backends:
+            raise ValueError("need at least one backend")
+        self._slots = [_BackendSlot(b) for b in backends]
+        self.quorum = quorum if quorum is not None else len(backends) // 2 + 1
+        self.divergences: list[str] = []
+        self.failures: list[str] = []
+
+    # -- dispatch --------------------------------------------------------
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        if request.method == "GET":
+            return self._read(request)
+        form = request.form if request.body else {}
+        doc_id = request.query.get("docID", "")
+        if protocol.F_DOC_CONTENTS in form or protocol.F_DELTA in form:
+            return self._write(request, doc_id, form)
+        return self._open(request, doc_id)
+
+    # -- session open -------------------------------------------------------
+
+    def _open(self, request: HttpRequest, doc_id: str) -> HttpResponse:
+        responses: list[HttpResponse | None] = []
+        for index, slot in enumerate(self._slots):
+            response = slot.backend(request)
+            if response.ok:
+                fields = response.form
+                state = slot.doc(doc_id)
+                state.sid = fields[protocol.F_SID]
+                state.rev = int(fields[protocol.A_REV])
+                state.degraded = False
+                responses.append(response)
+            else:
+                self._mark_degraded(index, doc_id, "open failed")
+                responses.append(None)
+        alive = [r for r in responses if r is not None]
+        if len(alive) < self.quorum:
+            return HttpResponse(503, encode_form({
+                "error": f"only {len(alive)} of {len(self._slots)} "
+                         f"providers reachable (quorum {self.quorum})",
+            }))
+        # Logical session id: the facade's own token; content by majority.
+        content = self._majority(
+            [r.form.get(protocol.A_CONTENT, "") for r in alive], doc_id
+        )
+        first = alive[0].form
+        return HttpResponse(200, encode_form({
+            protocol.F_SID: f"rep:{doc_id}",
+            protocol.A_REV: first[protocol.A_REV],
+            protocol.A_CONTENT: content,
+        }))
+
+    # -- writes -----------------------------------------------------------
+
+    def _write(self, request: HttpRequest, doc_id: str,
+               form: dict[str, str]) -> HttpResponse:
+        acks: list[HttpResponse] = []
+        is_full = protocol.F_DOC_CONTENTS in form
+        if not is_full:
+            # Heal stragglers *before* fanning out, while every healthy
+            # replica still holds the pre-update content (healing after
+            # an update would copy post-update bytes and then apply the
+            # delta twice).
+            for index, slot in enumerate(self._slots):
+                if slot.doc(doc_id).degraded:
+                    self._heal(index, doc_id)
+        for index, slot in enumerate(self._slots):
+            state = slot.doc(doc_id)
+            if state.degraded and not is_full:
+                continue  # heal failed; try again next update
+            if state.sid is None:
+                if not self._reopen(index, doc_id):
+                    continue
+                state = slot.doc(doc_id)
+            rewritten = request.with_form({
+                **form,
+                protocol.F_SID: state.sid or "",
+                protocol.F_REV: str(state.rev),
+            })
+            response = slot.backend(rewritten)
+            if response.ok:
+                ack = response.form
+                state.rev = int(ack.get(protocol.A_REV, state.rev))
+                if ack.get(protocol.A_CONFLICT) == "1":
+                    # The backend diverged from the fleet; full saves heal.
+                    self._mark_degraded(index, doc_id, "conflict")
+                else:
+                    state.degraded = False
+                    acks.append(response)
+            else:
+                self._mark_degraded(index, doc_id,
+                                    f"status {response.status}")
+        if len(acks) < self.quorum:
+            return HttpResponse(503, encode_form({
+                "error": f"write acknowledged by {len(acks)} providers; "
+                         f"quorum is {self.quorum}",
+            }))
+        return acks[0]
+
+    # -- reads ------------------------------------------------------------
+
+    def _read(self, request: HttpRequest) -> HttpResponse:
+        doc_id = request.query.get("docID", "")
+        bodies: list[str] = []
+        responses: list[HttpResponse] = []
+        for index, slot in enumerate(self._slots):
+            response = slot.backend(request)
+            if response.ok:
+                bodies.append(response.body)
+                responses.append(response)
+            else:
+                self._mark_degraded(index, doc_id,
+                                    f"read status {response.status}")
+        if not responses:
+            return HttpResponse(503, encode_form({
+                "error": "no provider reachable",
+            }))
+        majority = self._majority(bodies, doc_id)
+        winner = next(r for r, b in zip(responses, bodies) if b == majority)
+        return winner
+
+    # -- internals ----------------------------------------------------------
+
+    def _majority(self, bodies: list[str], doc_id: str) -> str:
+        counts = Counter(bodies)
+        winner, votes = counts.most_common(1)[0]
+        if len(counts) > 1:
+            self.divergences.append(
+                f"{doc_id}: {len(counts)} distinct replicas "
+                f"({votes}/{len(bodies)} agree)"
+            )
+        return winner
+
+    def _mark_degraded(self, index: int, doc_id: str, reason: str) -> None:
+        self._slots[index].doc(doc_id).degraded = True
+        self.failures.append(f"backend {index} / {doc_id}: {reason}")
+
+    def _reopen(self, index: int, doc_id: str) -> bool:
+        slot = self._slots[index]
+        response = slot.backend(protocol.open_request(doc_id))
+        if not response.ok:
+            return False
+        fields = response.form
+        state = slot.doc(doc_id)
+        state.sid = fields[protocol.F_SID]
+        state.rev = int(fields[protocol.A_REV])
+        return True
+
+    def _heal(self, index: int, doc_id: str) -> bool:
+        """Copy the (ciphertext) content from a healthy replica."""
+        content: str | None = None
+        for other_index, slot in enumerate(self._slots):
+            if other_index == index:
+                continue
+            if slot.doc(doc_id).degraded:
+                continue
+            response = slot.backend(protocol.fetch_request(doc_id))
+            if response.ok:
+                content = response.body
+                break
+        if content is None:
+            return False
+        if not self._reopen(index, doc_id):
+            return False
+        slot = self._slots[index]
+        state = slot.doc(doc_id)
+        response = slot.backend(protocol.full_save_request(
+            doc_id, state.sid or "", state.rev, content
+        ))
+        if not response.ok:
+            return False
+        state.rev = int(response.form[protocol.A_REV])
+        state.degraded = False
+        self.failures.append(f"backend {index} / {doc_id}: healed")
+        return True
+
+    # -- observability -------------------------------------------------------
+
+    def backend_health(self, doc_id: str) -> list[bool]:
+        """Per-backend health for ``doc_id`` (True = in sync)."""
+        return [not slot.doc(doc_id).degraded for slot in self._slots]

@@ -1,0 +1,51 @@
+"""Workload generation: documents, edit scripts, diffs, session traces."""
+
+from repro.workloads.diff import derive_delta, myers_delta, simple_delta
+from repro.workloads.documents import (
+    LARGE_FILE_CHARS,
+    MICRO_MAX_CHARS,
+    MICRO_MIN_CHARS,
+    SMALL_FILE_CHARS,
+    MicroPair,
+    document_of_length,
+    large_document,
+    micro_pairs,
+    small_document,
+)
+from repro.workloads.edits import (
+    CATEGORIES,
+    edit_stream,
+    sentence_delete,
+    sentence_insert,
+    sentence_replace,
+    typing_burst,
+)
+from repro.workloads.text import make_text, random_sentence, split_sentences
+from repro.workloads.traces import EditingTrace, TraceEvent, make_trace
+
+__all__ = [
+    "simple_delta",
+    "myers_delta",
+    "derive_delta",
+    "MicroPair",
+    "micro_pairs",
+    "small_document",
+    "large_document",
+    "document_of_length",
+    "SMALL_FILE_CHARS",
+    "LARGE_FILE_CHARS",
+    "MICRO_MIN_CHARS",
+    "MICRO_MAX_CHARS",
+    "CATEGORIES",
+    "edit_stream",
+    "sentence_insert",
+    "sentence_delete",
+    "sentence_replace",
+    "typing_burst",
+    "make_text",
+    "random_sentence",
+    "split_sentences",
+    "EditingTrace",
+    "TraceEvent",
+    "make_trace",
+]

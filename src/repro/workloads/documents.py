@@ -1,0 +1,93 @@
+"""Document corpora matching the paper's benchmark setups.
+
+* SVII-B micro-benchmark: ``(D, D')`` pairs with lengths uniform in
+  [100, 10000];
+* SVII-C macro-benchmark: "small" files of roughly 500 characters and
+  "large" files of roughly 10000 characters;
+* SVII-D block-size sweep: documents of exactly 10000 characters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.text import make_text
+
+__all__ = [
+    "SMALL_FILE_CHARS",
+    "LARGE_FILE_CHARS",
+    "MICRO_MIN_CHARS",
+    "MICRO_MAX_CHARS",
+    "MicroPair",
+    "small_document",
+    "large_document",
+    "document_of_length",
+    "micro_pairs",
+]
+
+SMALL_FILE_CHARS = 500
+LARGE_FILE_CHARS = 10_000
+MICRO_MIN_CHARS = 100
+MICRO_MAX_CHARS = 10_000
+
+
+@dataclass(frozen=True)
+class MicroPair:
+    """One micro-benchmark test case: a before/after document pair."""
+
+    before: str
+    after: str
+
+
+def document_of_length(length: int, seed: int = 0) -> str:
+    """A deterministic prose document of exactly ``length`` chars."""
+    return make_text(length, random.Random(seed))
+
+
+def small_document(seed: int = 0) -> str:
+    """A ~500-character file (the macro-benchmark "small" case)."""
+    return document_of_length(SMALL_FILE_CHARS, seed)
+
+
+def large_document(seed: int = 0) -> str:
+    """A ~10000-character file (the macro-benchmark "large" case)."""
+    return document_of_length(LARGE_FILE_CHARS, seed)
+
+
+def micro_pairs(
+    count: int,
+    seed: int = 0,
+    min_chars: int = MICRO_MIN_CHARS,
+    max_chars: int = MICRO_MAX_CHARS,
+    related: bool = False,
+) -> Iterator[MicroPair]:
+    """Generate (D, D') pairs as in SVII-B.
+
+    With ``related=False`` (the paper's setup) D and D' are independent
+    random documents; ``related=True`` instead derives D' from D by a
+    burst of local edits, modelling a realistic save-to-save difference.
+    """
+    rng = random.Random(seed)
+    for _ in range(count):
+        before = make_text(rng.randint(min_chars, max_chars), rng)
+        if related:
+            after = _perturb(before, rng)
+        else:
+            after = make_text(rng.randint(min_chars, max_chars), rng)
+        yield MicroPair(before, after)
+
+
+def _perturb(text: str, rng: random.Random) -> str:
+    """Apply a few local edits to ``text``."""
+    out = text
+    for _ in range(rng.randint(1, 5)):
+        if out and rng.random() < 0.5:
+            pos = rng.randrange(len(out))
+            count = min(len(out) - pos, rng.randint(1, 30))
+            out = out[:pos] + out[pos + count :]
+        else:
+            pos = rng.randint(0, len(out))
+            out = out[:pos] + make_text(rng.randint(1, 40), rng) + out[pos:]
+    return out

@@ -1,0 +1,85 @@
+"""Synthetic English-like text generation.
+
+The paper's benchmarks use "probabilistically generated test cases";
+this module produces deterministic (seeded) documents that look like
+prose — words, sentences, paragraphs — so sentence-level macro-bench
+edits (SVII-C) have real sentence structure to operate on.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "WORDS",
+    "random_word",
+    "random_sentence",
+    "make_text",
+    "split_sentences",
+]
+
+#: a compact vocabulary; enough variety that block contents don't repeat
+WORDS = (
+    "the quick brown fox jumps over a lazy dog while clouds drift past "
+    "mountain rivers and silent forests where hidden paths wind toward "
+    "distant villages full of markets music laughter old stories bright "
+    "lanterns warm bread cold rain paper letters secret gardens broken "
+    "clocks wooden boats copper bells velvet curtains amber light"
+).split()
+
+
+def random_word(rng: random.Random) -> str:
+    """Draw one word from the vocabulary."""
+    return rng.choice(WORDS)
+
+
+def random_sentence(rng: random.Random, min_words: int = 4,
+                    max_words: int = 14) -> str:
+    """Generate one capitalized, period-terminated sentence."""
+    count = rng.randint(min_words, max_words)
+    words = [random_word(rng) for _ in range(count)]
+    words[0] = words[0].capitalize()
+    return " ".join(words) + "."
+
+
+def make_text(length: int, rng: random.Random) -> str:
+    """Generate prose of exactly ``length`` characters.
+
+    Sentences are appended until the target is passed, then the text is
+    cut to size (so its statistical shape matches real typing rather
+    than ending exactly on a sentence boundary).
+    """
+    if length <= 0:
+        return ""
+    pieces: list[str] = []
+    total = 0
+    while total < length:
+        sentence = random_sentence(rng)
+        pieces.append(sentence)
+        total += len(sentence) + 1
+    return " ".join(pieces)[:length]
+
+
+def split_sentences(text: str) -> list[tuple[int, int]]:
+    """Locate sentences as ``(start, end)`` spans.
+
+    A sentence runs up to and including its period (plus one trailing
+    space when present).  Text without periods is one sentence.
+    """
+    spans: list[tuple[int, int]] = []
+    start = 0
+    i = 0
+    n = len(text)
+    while i < n:
+        if text[i] == ".":
+            end = i + 1
+            if end < n and text[end] == " ":
+                end += 1
+            spans.append((start, end))
+            start = end
+            i = end
+        else:
+            i += 1
+    if start < n:
+        spans.append((start, n))
+    return spans

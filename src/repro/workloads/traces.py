@@ -1,0 +1,73 @@
+"""Editing-session traces: what Selenium drove in the paper, as data.
+
+A trace is a timed sequence of user actions — open the document, type in
+bursts, pause, close — from which the simulated client derives its
+save/delta traffic (the client batches all edits since the last autosave
+into one delta, exactly as Google Documents did with its periodic
+timeout-triggered saves).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+from repro.core.delta import Delta
+from repro.workloads import edits as edit_gen
+
+__all__ = ["TraceEvent", "EditingTrace", "make_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One user edit at a simulated wall-clock time (seconds)."""
+
+    at: float
+    delta: Delta
+
+
+@dataclass(frozen=True)
+class EditingTrace:
+    """A full editing session over a starting document."""
+
+    initial_text: str
+    events: tuple[TraceEvent, ...]
+
+    def final_text(self) -> str:
+        """The document after every trace event has applied."""
+        text = self.initial_text
+        for event in self.events:
+            text = event.delta.apply(text)
+        return text
+
+    def deltas_between(self, start: float, end: float) -> list[Delta]:
+        """Edits with ``start < at <= end`` (one autosave window)."""
+        return [e.delta for e in self.events if start < e.at <= end]
+
+
+def make_trace(
+    initial_text: str,
+    seed: int = 0,
+    duration: float = 60.0,
+    mean_gap: float = 2.0,
+    category: str = "inserts & deletes",
+    sentence_edit_prob: float = 0.3,
+) -> EditingTrace:
+    """Generate a session: mostly typing bursts, occasionally a
+    sentence-level edit, spaced by exponential think-time gaps."""
+    rng = random.Random(seed)
+    events: list[TraceEvent] = []
+    text = initial_text
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(1.0 / mean_gap)
+        if clock > duration:
+            break
+        if rng.random() < sentence_edit_prob and text:
+            delta = next(iter(edit_gen.edit_stream(text, category, rng, 1)))
+        else:
+            delta = edit_gen.typing_burst(text, rng)
+        events.append(TraceEvent(at=clock, delta=delta))
+        text = delta.apply(text)
+    return EditingTrace(initial_text=initial_text, events=tuple(events))

@@ -1,0 +1,28 @@
+"""Shared fixtures: deterministic randomness and ready-made documents."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.keys import KeyMaterial
+from repro.crypto.random import DeterministicRandomSource
+
+
+@pytest.fixture
+def nonce_rng():
+    """Deterministic nonce source (fresh per test)."""
+    return DeterministicRandomSource(0xA5A5)
+
+
+@pytest.fixture
+def keys(nonce_rng):
+    """Key material derived from a fixed password and salt."""
+    return KeyMaterial.from_password("correct horse", rng=nonce_rng)
+
+
+@pytest.fixture
+def py_rng():
+    """Seeded stdlib Random for structure/workload choices."""
+    return random.Random(0xBEEF)

@@ -1,0 +1,102 @@
+"""Active-adversary scenarios through the full stack (SVI-A).
+
+The malicious provider tampers with its own store; detection (or not)
+happens when a client next loads the document through the extension.
+"""
+
+import pytest
+
+from repro.crypto.random import DeterministicRandomSource
+from repro.encoding.wire import looks_encrypted
+from repro.extension import PrivateEditingSession
+from repro.security.adversary import ActiveServerAdversary
+from repro.security.attacks import (
+    flip_record_byte,
+    remove_record,
+    replicate_record,
+    swap_records,
+)
+
+SECRET = "wire 1.000.000 to account 44-55; then wire 1.000.000 again"
+
+
+def owned_session(scheme, seed):
+    session = PrivateEditingSession(
+        "doc", "pw", scheme=scheme, rng=DeterministicRandomSource(seed),
+    )
+    session.open()
+    session.type_text(0, SECRET)
+    session.save()
+    session.close()
+    return session
+
+
+def reopen(session, seed):
+    reader = PrivateEditingSession(
+        "doc", "pw", server=session.server,
+        rng=DeterministicRandomSource(seed),
+    )
+    return reader, reader.open()
+
+
+class TestActiveServerVsRpc:
+    @pytest.mark.parametrize("mutate", [
+        lambda w: replicate_record(w, 3),
+        lambda w: remove_record(w, 3),
+        lambda w: swap_records(w, 2, 4),
+        lambda w: flip_record_byte(w, 2, 5),
+    ])
+    def test_tampering_never_yields_plaintext(self, mutate):
+        session = owned_session("rpc", 1)
+        adversary = ActiveServerAdversary(session.server.store)
+        adversary.overwrite("doc", mutate(adversary.current_ciphertext("doc")))
+        reader, seen = reopen(session, 2)
+        # The extension refuses to decrypt: the user sees ciphertext and
+        # the extension records an integrity warning.
+        assert looks_encrypted(seen)
+        assert reader.client.editor.text != SECRET
+        assert any(
+            "chain" in w or "checksum" in w or "marker" in w or "length" in w
+            or "tamper" in w.lower()
+            for w in _warnings(reader)
+        )
+
+
+class TestActiveServerVsRecb:
+    def test_replication_silently_alters_content(self):
+        """rECB's stated weakness: a replicated record decrypts cleanly
+        and the user sees silently altered content."""
+        session = owned_session("recb", 3)
+        adversary = ActiveServerAdversary(session.server.store)
+        adversary.overwrite(
+            "doc", replicate_record(adversary.current_ciphertext("doc"), 2)
+        )
+        _, seen = reopen(session, 4)
+        assert not looks_encrypted(seen)  # decryption succeeded!
+        assert seen != SECRET             # ...but content changed
+        assert len(seen) == len(SECRET) + 8
+
+
+class TestRollback:
+    def test_rollback_is_undetected_by_design(self):
+        """Freshness is out of scope for per-document schemes: an old
+        version verifies perfectly (documented limitation)."""
+        session = PrivateEditingSession(
+            "doc", "pw", scheme="rpc", rng=DeterministicRandomSource(5),
+        )
+        session.open()
+        session.type_text(0, "version one")
+        session.save()
+        session.type_text(0, "version two: ")
+        session.save()
+        session.close()
+
+        adversary = ActiveServerAdversary(session.server.store)
+        adversary.rollback("doc")
+        _, seen = reopen(session, 6)
+        assert seen == "version one"  # verifies, decrypts, stale
+
+
+def _warnings(reader):
+    extension = reader.extension
+    return extension.warnings if extension else []

@@ -1,0 +1,160 @@
+"""The command-line interface, end to end on real files."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+PLAINTEXT = "my secret diary entry about the merger\n"
+
+
+def run_cli(argv, tmp_path=None):
+    """Invoke the CLI in-process; returns exit code."""
+    return main(argv)
+
+
+@pytest.fixture
+def plain_file(tmp_path):
+    path = tmp_path / "plain.txt"
+    path.write_text(PLAINTEXT)
+    return path
+
+
+class TestEncryptDecrypt:
+    def test_round_trip(self, tmp_path, plain_file):
+        wire = tmp_path / "doc.wire"
+        out = tmp_path / "out.txt"
+        assert run_cli(["encrypt", "--password", "pw",
+                        "-o", str(wire), str(plain_file)]) == 0
+        stored = wire.read_text()
+        assert "merger" not in stored
+        assert run_cli(["decrypt", "--password", "pw",
+                        "-o", str(out), str(wire)]) == 0
+        assert out.read_text() == PLAINTEXT
+
+    @pytest.mark.parametrize("scheme", ["recb", "rpc"])
+    def test_schemes(self, tmp_path, plain_file, scheme):
+        wire = tmp_path / "doc.wire"
+        out = tmp_path / "out.txt"
+        assert run_cli(["encrypt", "--password", "pw", "--scheme", scheme,
+                        "-o", str(wire), str(plain_file)]) == 0
+        assert run_cli(["decrypt", "--password", "pw",
+                        "-o", str(out), str(wire)]) == 0
+        assert out.read_text() == PLAINTEXT
+
+    def test_wrong_password_fails(self, tmp_path, plain_file):
+        wire = tmp_path / "doc.wire"
+        run_cli(["encrypt", "--password", "pw", "-o", str(wire),
+                 str(plain_file)])
+        assert run_cli(["decrypt", "--password", "nope",
+                        "-o", str(tmp_path / "x"), str(wire)]) == 1
+
+    def test_stego_round_trip(self, tmp_path, plain_file):
+        wire = tmp_path / "doc.stego"
+        out = tmp_path / "out.txt"
+        run_cli(["encrypt", "--password", "pw", "--stego",
+                 "-o", str(wire), str(plain_file)])
+        stored = wire.read_text()
+        assert not stored.startswith("PE1-")
+        assert run_cli(["decrypt", "--password", "pw",
+                        "-o", str(out), str(wire)]) == 0
+        assert out.read_text() == PLAINTEXT
+
+    def test_password_env_var(self, tmp_path, plain_file, monkeypatch):
+        monkeypatch.setenv("REPRO_PASSWORD", "pw")
+        wire = tmp_path / "doc.wire"
+        assert run_cli(["encrypt", "-o", str(wire), str(plain_file)]) == 0
+
+    def test_missing_password_exits(self, tmp_path, plain_file,
+                                    monkeypatch):
+        monkeypatch.delenv("REPRO_PASSWORD", raising=False)
+        with pytest.raises(SystemExit):
+            run_cli(["encrypt", "-o", str(tmp_path / "x"),
+                     str(plain_file)])
+
+
+class TestEdit:
+    def test_in_place_edit(self, tmp_path, plain_file):
+        wire = tmp_path / "doc.wire"
+        out = tmp_path / "out.txt"
+        run_cli(["encrypt", "--password", "pw", "-o", str(wire),
+                 str(plain_file)])
+        before = wire.read_text()
+        assert run_cli(["edit", "--password", "pw", "--at", "3",
+                        "--insert", "very ", "--in-place",
+                        str(wire)]) == 0
+        after = wire.read_text()
+        assert after != before
+        # Incremental: most of the old ciphertext records survive verbatim.
+        from repro.encoding.wire import RECORD_CHARS, split_header
+        _, area_before = split_header(before)
+        _, area_after = split_header(after)
+        chunks_before = {
+            area_before[i:i + RECORD_CHARS]
+            for i in range(0, len(area_before), RECORD_CHARS)
+        }
+        chunks_after = {
+            area_after[i:i + RECORD_CHARS]
+            for i in range(0, len(area_after), RECORD_CHARS)
+        }
+        assert len(chunks_before & chunks_after) >= len(chunks_before) // 2
+        run_cli(["decrypt", "--password", "pw", "-o", str(out),
+                 str(wire)])
+        assert out.read_text().startswith("my very secret")
+
+    def test_delete_edit(self, tmp_path, plain_file):
+        wire = tmp_path / "doc.wire"
+        out = tmp_path / "out.txt"
+        run_cli(["encrypt", "--password", "pw", "-o", str(wire),
+                 str(plain_file)])
+        run_cli(["edit", "--password", "pw", "--at", "0",
+                 "--delete", "3", "--in-place", str(wire)])
+        run_cli(["decrypt", "--password", "pw", "-o", str(out),
+                 str(wire)])
+        assert out.read_text().startswith("secret diary")
+
+
+class TestInspect:
+    def test_inspect_without_password(self, tmp_path, plain_file, capsys):
+        wire = tmp_path / "doc.wire"
+        run_cli(["encrypt", "--password", "pw", "--scheme", "rpc",
+                 "-o", str(wire), str(plain_file)])
+        assert run_cli(["inspect", str(wire)]) == 0
+        out = capsys.readouterr().out
+        assert "scheme:        rpc" in out
+        assert "bookkeeping" in out
+
+    def test_inspect_with_password_verifies(self, tmp_path, plain_file,
+                                            capsys):
+        wire = tmp_path / "doc.wire"
+        run_cli(["encrypt", "--password", "pw", "-o", str(wire),
+                 str(plain_file)])
+        assert run_cli(["inspect", "--password", "pw", str(wire)]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_inspect_garbage_fails(self, tmp_path):
+        bad = tmp_path / "bad"
+        bad.write_text("not a wire document at all")
+        assert run_cli(["inspect", str(bad)]) == 1
+
+
+class TestSubprocessEntry:
+    def test_python_dash_m(self, tmp_path, plain_file):
+        """The `python -m repro` entry point works as installed."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "encrypt",
+             "--password", "pw", "-o", str(tmp_path / "w"),
+             str(plain_file)],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_demo_runs(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "demo"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0
+        assert "server has:" in result.stdout

@@ -1,0 +1,80 @@
+"""The extensions composed: stego + freshness + replication together.
+
+Each extension is tested alone elsewhere; this smoke-checks that they
+stack — a censoring, partially-flaky, rollback-attempting environment
+against one fully-armed client stack.
+"""
+
+from repro.crypto.random import DeterministicRandomSource
+from repro.encoding.stego import looks_stego
+from repro.extension import FreshnessMonitor, PrivateEditingSession
+from repro.services.gdocs.server import GDocsServer
+from repro.services.replicated import FlakyServer, ReplicatedService
+
+
+class _Shim:
+    """Adapts a ReplicatedService to PrivateEditingSession's server duck
+    type."""
+
+    def __init__(self, service):
+        self._service = service
+        self.store = None
+
+    def __call__(self, request):
+        """Forward to the replicated facade."""
+        return self._service(request)
+
+
+def test_stego_freshness_replication_compose():
+    # three *censoring* providers, one of them flaky
+    backends = [
+        FlakyServer(GDocsServer(reject_encrypted=True)) for _ in range(3)
+    ]
+    service = ReplicatedService(backends)
+    monitor = FreshnessMonitor()
+
+    session = PrivateEditingSession(
+        "doc", "pw", server=_Shim(service), scheme="rpc",
+        rng=DeterministicRandomSource(1),
+        stego=True, freshness=monitor,
+    )
+    session.open()
+    session.type_text(0, "contraband thoughts, replicated and disguised")
+    session.save()
+
+    backends[1].outage(1)
+    session.type_text(0, "[v2] ")
+    session.save()          # 2/3 quorum write
+    session.type_text(0, "[v3] ")
+    session.save()          # heals backend 1 with stego'd ciphertext
+    session.close()
+
+    # every replica converged on stego text that passes the censor
+    replicas = {b._backend.store.get("doc").content for b in backends}
+    assert len(replicas) == 1
+    stored = replicas.pop()
+    assert looks_stego(stored)
+    assert "contraband" not in stored
+    assert service.backend_health("doc") == [True, True, True]
+
+    # the same monitor-carrying user reopens and reads the latest
+    reader = PrivateEditingSession(
+        "doc", "pw", server=_Shim(service), scheme="rpc",
+        rng=DeterministicRandomSource(2),
+        stego=True, freshness=monitor,
+    )
+    assert reader.open() == session.text
+
+    # a rollback by ALL providers is caught by freshness
+    for backend in backends:
+        doc = backend._backend.store.get("doc")
+        doc.content = doc.history[-2]
+        doc.revision += 1
+    late = PrivateEditingSession(
+        "doc", "pw", server=_Shim(service), scheme="rpc",
+        rng=DeterministicRandomSource(3),
+        stego=True, freshness=monitor,
+    )
+    seen = late.open()
+    assert seen != session.text
+    assert any("version" in w for w in late.extension.warnings)

@@ -1,0 +1,102 @@
+"""SVII-A's functionality matrix, as executable checks.
+
+"Because the Google Documents server now only has access to an
+encrypted document, some features now become unavailable: (1)
+translation; (2) spell checking; (3) drawing pictures; (4) exporting
+... Other core features such as various content formatting tools and
+the word counting tools work fine with our extension since they
+operate on the client side."
+"""
+
+import pytest
+
+from repro.crypto.random import DeterministicRandomSource
+from repro.errors import BlockedRequestError
+from repro.extension import PrivateEditingSession
+
+FEATURES_BROKEN = ["spellcheck", "translate", "export", "draw"]
+FEATURES_WORKING = ["word_count", "formatting", "editing", "save", "reload"]
+
+
+@pytest.fixture
+def session():
+    s = PrivateEditingSession("doc", "pw", scheme="recb",
+                              rng=DeterministicRandomSource(1))
+    s.open()
+    s.type_text(0, "the quick brown fox and a zzyzx typo")
+    s.save()
+    return s
+
+
+class TestBrokenFeatures:
+    """Server-side features are *blocked* by the extension (fail closed:
+    they would otherwise upload or depend on plaintext)."""
+
+    def test_spellcheck_blocked(self, session):
+        with pytest.raises(BlockedRequestError):
+            session.client.spellcheck()
+
+    def test_translate_blocked(self, session):
+        with pytest.raises(BlockedRequestError):
+            session.client.translate()
+
+    def test_export_blocked(self, session):
+        with pytest.raises(BlockedRequestError):
+            session.client.export()
+
+    def test_drawing_blocked(self, session):
+        with pytest.raises(BlockedRequestError):
+            session.client.draw("circle 10 10 5")
+
+
+class TestBrokenWithoutExtensionTheyWork:
+    """Control: the same features work when the extension is off —
+    confirming the loss is caused by encryption, not by our server."""
+
+    @pytest.fixture
+    def plain(self):
+        s = PrivateEditingSession("doc", "pw", extension_enabled=False)
+        s.open()
+        s.type_text(0, "the quick brown fox and a zzyzx typo")
+        s.save()
+        return s
+
+    def test_spellcheck_works_plain(self, plain):
+        assert "zzyzx" in plain.client.spellcheck()
+
+    def test_translate_works_plain(self, plain):
+        assert plain.client.translate()  # non-empty translation
+
+    def test_export_works_plain(self, plain):
+        assert plain.client.export().startswith("{\\rtf1")
+
+    def test_draw_works_plain(self, plain):
+        assert plain.client.draw("line").startswith("PNG[")
+
+
+class TestWorkingFeatures:
+    def test_word_count_client_side(self, session):
+        assert session.client.word_count() == 8
+
+    def test_editing_and_save(self, session):
+        session.type_text(0, "MORE ")
+        outcome = session.save()
+        assert outcome.kind == "delta" and not outcome.conflict
+
+    def test_reload(self, session):
+        reader = PrivateEditingSession(
+            "doc", "pw", server=session.server,
+            rng=DeterministicRandomSource(2),
+        )
+        assert reader.open() == session.text
+
+    def test_passive_refresh(self, session):
+        """Every passive reader gets automatic content refreshing."""
+        reader = PrivateEditingSession(
+            "doc", "pw", server=session.server,
+            rng=DeterministicRandomSource(3),
+        )
+        reader.open()
+        session.type_text(0, "breaking: ")
+        session.save()
+        assert reader.client.refresh() == session.text

@@ -1,0 +1,59 @@
+"""The macro-benchmark harness itself: paired runs, honest accounting.
+
+These tests pin the properties EXPERIMENTS.md relies on when citing
+Fig. 5 / Fig. 8 outputs — small, fast configurations only.
+"""
+
+import pytest
+
+from repro.bench.macro import MacroCase, run_macro_case
+from repro.net.latency import INSTANT, WAN_2011
+
+
+def small_case(**overrides):
+    defaults = dict(file_chars=400, category="inserts only", scheme="recb",
+                    block_chars=8, edits_per_session=3, trials=2)
+    defaults.update(overrides)
+    return MacroCase(**defaults)
+
+
+class TestHarness:
+    def test_report_has_all_samples(self):
+        report = run_macro_case(small_case())
+        assert len(report.initial_load.values) == 2       # one per trial
+        assert len(report.edit_ops.values) == 6           # edits x trials
+
+    def test_extension_adds_nonnegative_overhead(self):
+        report = run_macro_case(small_case(trials=3))
+        assert report.initial_load.mean > 0
+        # Individual edit overheads may jitter but the mean must not be
+        # meaningfully negative (paired latency draws cancel).
+        assert report.edit_ops.mean > -0.02
+
+    def test_rpc_at_least_as_costly_as_recb(self):
+        recb = run_macro_case(small_case(scheme="recb", trials=3))
+        rpc = run_macro_case(small_case(scheme="rpc", trials=3))
+        # RPC adds chain re-encryption + a checksum record per save.
+        assert rpc.initial_load.mean > -0.02
+        assert rpc.edit_ops.mean >= recb.edit_ops.mean - 0.03
+
+    def test_block_size_8_load_cheaper_than_1(self):
+        wide = run_macro_case(small_case(block_chars=8, file_chars=4000))
+        narrow = run_macro_case(small_case(block_chars=1, file_chars=4000))
+        assert wide.initial_load.mean < narrow.initial_load.mean
+
+    def test_instant_network_isolates_crypto_cost(self):
+        """With a zero-latency network, overhead ratios blow up (the
+        denominator is just client processing) — confirming the latency
+        model is what anchors the percentages."""
+        wan = run_macro_case(small_case(file_chars=2000, block_chars=1))
+        instant = run_macro_case(small_case(file_chars=2000, block_chars=1),
+                                 latency_factory=lambda seed: INSTANT())
+        assert instant.initial_load.mean > wan.initial_load.mean
+
+    def test_deterministic_given_seeds(self):
+        a = run_macro_case(small_case())
+        b = run_macro_case(small_case())
+        # Workload and latency draws are seeded; only wall-clock noise
+        # differs, so the means must be close.
+        assert abs(a.initial_load.mean - b.initial_load.mean) < 0.15

@@ -1,0 +1,196 @@
+"""Collaboration with a merging (OT) server — the other side of
+SVII-A's story.
+
+The paper's conflict complaints stem from a server we modelled as
+*rejecting* stale deltas.  The real server merged them; with
+``GDocsServer(merge_concurrent=True)``:
+
+* plaintext clients collaborate seamlessly (control group);
+* **encrypted collaboration works for rECB** when the extension can
+  resync its mirror from Acks (``decrypt_acks=True``) — the server
+  merges record-aligned ciphertext deltas it cannot read;
+* RPC's document-wide checksum is structurally incompatible with blind
+  merging: the result fails integrity verification, which the reader's
+  extension catches (it never shows corrupted plaintext);
+* the paper-faithful extension (no decrypt_acks) downgrades a merged
+  Ack to the conflict path, keeping its mirror safe.
+"""
+
+import pytest
+
+from repro.client.gdocs_client import GDocsClient
+from repro.crypto.random import DeterministicRandomSource
+from repro.encoding.wire import looks_encrypted
+from repro.extension import GDocsExtension, PasswordVault
+from repro.net.channel import Channel
+from repro.services.gdocs.server import GDocsServer
+
+
+def plain_user(server, doc_id="doc"):
+    return GDocsClient(Channel(server), doc_id)
+
+
+def encrypted_user(server, seed, scheme="recb", decrypt_acks=True,
+                   doc_id="doc"):
+    channel = Channel(server)
+    extension = GDocsExtension(
+        PasswordVault({doc_id: "pw"}), scheme=scheme,
+        rng=DeterministicRandomSource(seed),
+        decrypt_acks=decrypt_acks,
+    )
+    channel.set_mediator(extension)
+    client = GDocsClient(channel, doc_id)
+    return client, extension
+
+
+BASE = "alpha bravo charlie delta echo foxtrot golf hotel india. "
+
+
+class TestPlaintextControl:
+    def test_concurrent_edits_merge(self):
+        server = GDocsServer(merge_concurrent=True)
+        alice = plain_user(server)
+        bob = plain_user(server)
+        alice.open()
+        alice.type_text(0, BASE)
+        alice.save()
+        bob.open()
+        bob.save()  # session-opening identity full save (deduped)
+
+        # concurrent: bob edits the tail, alice the head
+        bob.type_text(len(BASE), "BOB-TAIL.")
+        bob.save()
+        alice.type_text(0, "ALICE-HEAD. ")
+        outcome = alice.save()
+
+        assert not outcome.conflict
+        assert server.merges_performed == 1
+        merged = server.store.get("doc").content
+        assert merged.startswith("ALICE-HEAD. ")
+        assert merged.endswith("BOB-TAIL.")
+        assert alice.editor.text == merged  # silent resync
+        assert alice.complaints == []
+
+    def test_chain_of_concurrent_edits(self):
+        server = GDocsServer(merge_concurrent=True)
+        alice = plain_user(server)
+        bob = plain_user(server)
+        alice.open()
+        alice.type_text(0, BASE)
+        alice.save()
+        bob.open()
+        bob.save()
+        for i in range(3):
+            bob.type_text(len(bob.editor.text), f"b{i}. ")
+            bob.save()
+        alice.type_text(0, "a0. ")
+        outcome = alice.save()  # stale by 3 revisions
+        assert not outcome.conflict
+        text = server.store.get("doc").content
+        assert text.startswith("a0. ")
+        assert "b2. " in text
+
+
+class TestEncryptedRecbMerging:
+    def test_disjoint_encrypted_edits_merge(self):
+        """The headline: the server merges ciphertext deltas it cannot
+        read, and both users converge on the merged plaintext."""
+        server = GDocsServer(merge_concurrent=True)
+        alice, _ = encrypted_user(server, 1)
+        bob, _ = encrypted_user(server, 2)
+
+        alice.open()
+        alice.type_text(0, BASE)
+        alice.save()
+        bob.open()
+        assert bob.editor.text == BASE
+        bob.save()  # identity full save; extension re-sends mirror wire
+
+        bob.type_text(len(BASE), "BOB-TAIL.")
+        bob.save()
+        alice.type_text(0, "ALICE-HEAD. ")
+        outcome = alice.save()
+
+        assert not outcome.conflict
+        assert server.merges_performed == 1
+        stored = server.store.get("doc").content
+        assert looks_encrypted(stored)
+        assert "ALICE" not in stored and "BOB" not in stored
+
+        # alice converged via the decrypted merged Ack
+        assert alice.editor.text.startswith("ALICE-HEAD. ")
+        assert alice.editor.text.endswith("BOB-TAIL.")
+
+        # an independent reader decrypts the merged ciphertext cleanly
+        reader, _ = encrypted_user(server, 3)
+        text = reader.open()
+        assert text == alice.editor.text
+
+    def test_continued_editing_after_merge(self):
+        server = GDocsServer(merge_concurrent=True)
+        alice, _ = encrypted_user(server, 4)
+        bob, _ = encrypted_user(server, 5)
+        alice.open()
+        alice.type_text(0, BASE)
+        alice.save()
+        bob.open()
+        bob.save()
+        bob.type_text(len(BASE), "B1.")
+        bob.save()
+        alice.type_text(0, "A1. ")
+        alice.save()  # merged; mirror resynced
+        alice.type_text(0, "A2. ")
+        outcome = alice.save()  # normal delta on the merged base
+        assert outcome.kind == "delta" and not outcome.conflict
+        reader, _ = encrypted_user(server, 6)
+        assert reader.open().startswith("A2. A1. ")
+
+
+class TestRpcIncompatibleWithBlindMerge:
+    def test_merged_rpc_fails_integrity_loudly(self):
+        """Both clients' checksum patches are merged into a document
+        with inconsistent bookkeeping — readers must refuse it, never
+        show silently corrupted text."""
+        server = GDocsServer(merge_concurrent=True)
+        alice, _ = encrypted_user(server, 7, scheme="rpc")
+        bob, _ = encrypted_user(server, 8, scheme="rpc")
+        alice.open()
+        alice.type_text(0, BASE)
+        alice.save()
+        bob.open()
+        bob.save()
+        bob.type_text(len(BASE), "BOB.")
+        bob.save()
+        alice.type_text(0, "ALICE. ")
+        alice.save()
+        if server.merges_performed == 0:
+            pytest.skip("server declined to merge (cdelta did not fit)")
+        reader, extension = encrypted_user(server, 9, scheme="rpc")
+        seen = reader.open()
+        assert seen != "ALICE. " + BASE + "BOB."
+        assert looks_encrypted(seen)  # refused, shown as ciphertext
+        assert extension.warnings
+
+
+class TestFaithfulExtensionDegradesSafely:
+    def test_merged_ack_downgraded_to_conflict(self):
+        """Without decrypt_acks the extension cannot follow a merge;
+        it must force the client into full-save recovery rather than
+        let the mirror drift."""
+        server = GDocsServer(merge_concurrent=True)
+        alice, _ = encrypted_user(server, 10, decrypt_acks=False)
+        bob, _ = encrypted_user(server, 11, decrypt_acks=False)
+        alice.open()
+        alice.type_text(0, BASE)
+        alice.save()
+        bob.open()
+        bob.save()
+        bob.type_text(len(BASE), "BOB.")
+        bob.save()
+        alice.type_text(0, "ALICE. ")
+        outcome = alice.save()
+        assert outcome.conflict  # downgraded by the extension
+        alice.save()  # recovery full save
+        reader, _ = encrypted_user(server, 12, decrypt_acks=False)
+        text = reader.open()
+        assert text.startswith("ALICE. ")  # consistent, bob's edit lost

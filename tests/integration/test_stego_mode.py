@@ -1,0 +1,106 @@
+"""Stego mode end-to-end: the extension vs. the censoring provider."""
+
+import pytest
+
+from repro.crypto.random import DeterministicRandomSource
+from repro.errors import ProtocolError
+from repro.extension import PrivateEditingSession
+from repro.security.analysis import ENCRYPTION_THRESHOLD, encryption_score
+from repro.services.gdocs.server import GDocsServer
+
+
+class TestCensoringServer:
+    def test_refuses_raw_ciphertext(self):
+        session = PrivateEditingSession(
+            "doc", "pw", server=GDocsServer(reject_encrypted=True),
+            rng=DeterministicRandomSource(1),
+        )
+        session.open()
+        session.type_text(0, "forbidden")
+        with pytest.raises(ProtocolError):
+            session.save()
+
+    def test_accepts_plaintext(self):
+        session = PrivateEditingSession(
+            "doc", "pw", server=GDocsServer(reject_encrypted=True),
+            extension_enabled=False,
+        )
+        session.open()
+        session.type_text(0, "ordinary prose is fine")
+        session.save()
+        assert session.server_view() == "ordinary prose is fine"
+
+    def test_refuses_ciphertext_via_delta_too(self):
+        """A delta whose result turns the document into ciphertext is
+        also refused (the censor checks outcomes, not just messages)."""
+        from repro.client.gdocs_client import GDocsClient
+        from repro.net.channel import Channel
+
+        server = GDocsServer(reject_encrypted=True)
+        client = GDocsClient(Channel(server), "doc")
+        client.open()
+        client.type_text(0, "innocent start")
+        client.save()
+        client.editor.set_text("PE1-RECB-8-64-AAAAAAAAAAAAAAAA." + "A" * 280)
+        with pytest.raises(ProtocolError):
+            client.save()
+
+
+class TestStegoSession:
+    def _session(self, server, seed, **kw):
+        return PrivateEditingSession(
+            "doc", "pw", server=server, scheme="rpc",
+            rng=DeterministicRandomSource(seed), stego=True, **kw,
+        )
+
+    def test_full_lifecycle_past_the_censor(self):
+        server = GDocsServer(reject_encrypted=True)
+        session = self._session(server, 2)
+        session.open()
+        session.type_text(0, "samizdat: the true history")
+        assert session.save().kind == "full"
+        session.type_text(0, "chapter 1. ")
+        assert session.save().kind == "delta"
+        session.delete_text(0, 8)
+        assert session.save().kind == "delta"
+        session.close()
+
+        stored = session.server_view()
+        assert encryption_score(stored) < ENCRYPTION_THRESHOLD
+        assert "samizdat" not in stored
+        assert "history" not in stored
+
+        reader = self._session(server, 3)
+        assert reader.open() == session.text
+
+    def test_stego_hides_from_detector_but_not_from_password(self):
+        server = GDocsServer()
+        session = self._session(server, 4)
+        session.open()
+        session.type_text(0, "hidden but shared")
+        session.save()
+        # wrong password + stego: sees gibberish words, not plaintext
+        snoop = PrivateEditingSession(
+            "doc", "wrong", server=server,
+            rng=DeterministicRandomSource(5), stego=True,
+        )
+        seen = snoop.open()
+        assert "hidden" not in seen
+
+    def test_stego_costs_triple_the_wire(self):
+        """The quantified 'may be impractical': ~3x on top of Fig. 7."""
+        server = GDocsServer()
+        plain_wire = PrivateEditingSession(
+            "w", "pw", server=server, rng=DeterministicRandomSource(6),
+        )
+        plain_wire.open()
+        plain_wire.type_text(0, "z" * 400)
+        plain_wire.save()
+        wire_len = len(plain_wire.server_view())
+
+        stego = self._session(GDocsServer(), 7)
+        stego.open()
+        stego.type_text(0, "z" * 400)
+        stego.save()
+        stego_len = len(stego.server_view())
+        assert 2.5 < stego_len / wire_len < 3.5

@@ -1,0 +1,82 @@
+"""Property tests over the text codecs and wire format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import base32, formenc
+from repro.encoding.wire import (
+    RECORD_CHARS,
+    Record,
+    decode_records,
+    encode_records,
+)
+
+
+class TestBase32:
+    @settings(max_examples=300)
+    @given(st.binary(max_size=100))
+    def test_round_trip(self, data):
+        assert base32.decode(base32.encode(data)) == data
+
+    @settings(max_examples=300)
+    @given(st.binary(max_size=100))
+    def test_padded_round_trip(self, data):
+        assert base32.decode(base32.encode(data, pad=True)) == data
+
+    @settings(max_examples=200)
+    @given(st.binary(max_size=100))
+    def test_length_formula(self, data):
+        assert len(base32.encode(data)) == base32.encoded_length(len(data))
+
+    @settings(max_examples=200)
+    @given(st.binary(max_size=60))
+    def test_alphabet_only(self, data):
+        assert set(base32.encode(data)) <= set(base32.ALPHABET)
+
+
+class TestFormEncoding:
+    @settings(max_examples=300)
+    @given(st.text(max_size=80).filter(lambda s: "\x00" not in s or True))
+    def test_quote_round_trip(self, text):
+        assert formenc.unquote(formenc.quote(text)) == text
+
+    @settings(max_examples=200)
+    @given(st.dictionaries(st.text(min_size=1, max_size=10),
+                           st.text(max_size=30), max_size=5))
+    def test_form_round_trip(self, fields):
+        assert formenc.parse_form(formenc.encode_form(fields)) == fields
+
+
+records_strategy = st.lists(
+    st.builds(
+        Record,
+        char_count=st.integers(0, 255),
+        block=st.binary(min_size=16, max_size=16),
+    ),
+    max_size=30,
+)
+
+
+class TestWire:
+    @settings(max_examples=200)
+    @given(records_strategy)
+    def test_record_area_round_trip(self, records):
+        area = encode_records(records)
+        assert len(area) == len(records) * RECORD_CHARS
+        assert decode_records(area) == records
+
+    @settings(max_examples=100)
+    @given(records_strategy, st.data())
+    def test_splice_equals_list_splice(self, records, data):
+        """Cutting records out of the text area equals cutting them out
+        of the list — the exactness cdeltas depend on."""
+        area = encode_records(records)
+        i = data.draw(st.integers(0, len(records)))
+        j = data.draw(st.integers(i, len(records)))
+        spliced = area[: i * RECORD_CHARS] + area[j * RECORD_CHARS :]
+        assert decode_records(spliced) == records[:i] + records[j:]
+
+    @settings(max_examples=100)
+    @given(records_strategy, records_strategy)
+    def test_concatenation(self, a, b):
+        assert decode_records(encode_records(a) + encode_records(b)) == a + b

@@ -1,0 +1,132 @@
+"""Parser fuzzing: hostile input must raise *library* errors, never
+arbitrary exceptions.
+
+Everything these parsers see can come from an adversary (the server
+controls stored content and responses), so a crash is a bug: the
+acceptable outcomes are success or a ``ReproError`` subclass.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import Delta
+from repro.encoding import base32
+from repro.encoding.formenc import parse_form, unquote
+from repro.encoding.stego import stego_unwrap
+from repro.encoding.wire import decode_records, parse_document
+from repro.errors import ReproError
+
+hostile_text = st.text(max_size=200)
+hostile_ascii = st.text(
+    alphabet=string.printable, max_size=300
+)
+#: strings biased toward *almost* valid inputs
+almost_wire = st.one_of(
+    hostile_text,
+    st.just("PE1-RECB-8-64-").map(lambda p: p + "AAAA."),
+    st.text(alphabet=base32.ALPHABET + ".-", max_size=150).map(
+        lambda s: "PE1-" + s
+    ),
+    st.text(alphabet=base32.ALPHABET, max_size=140),
+)
+
+
+def must_not_crash(fn, value):
+    try:
+        fn(value)
+    except ReproError:
+        pass
+    except (SystemExit, KeyboardInterrupt):
+        raise
+    # any other exception type is a fuzzing failure
+    # (pytest surfaces it as an error automatically)
+
+
+class TestParserRobustness:
+    @settings(max_examples=300)
+    @given(hostile_text)
+    def test_delta_parse(self, text):
+        must_not_crash(Delta.parse, text)
+
+    @settings(max_examples=300)
+    @given(almost_wire)
+    def test_parse_document(self, text):
+        must_not_crash(parse_document, text)
+
+    @settings(max_examples=300)
+    @given(hostile_ascii)
+    def test_decode_records(self, text):
+        must_not_crash(decode_records, text)
+
+    @settings(max_examples=300)
+    @given(hostile_text)
+    def test_base32_decode(self, text):
+        must_not_crash(base32.decode, text)
+
+    @settings(max_examples=300)
+    @given(hostile_text)
+    def test_form_parse(self, text):
+        must_not_crash(parse_form, text)
+
+    @settings(max_examples=300)
+    @given(hostile_text)
+    def test_unquote(self, text):
+        must_not_crash(unquote, text)
+
+    @settings(max_examples=300)
+    @given(st.one_of(
+        hostile_text,
+        st.lists(
+            st.sampled_from(["babab", "bamuk", "zuzuz", "hello"]),
+            max_size=30,
+        ).map(lambda ws: "".join(w + " " for w in ws)),
+    ))
+    def test_stego_unwrap(self, text):
+        must_not_crash(stego_unwrap, text)
+
+    @settings(max_examples=200)
+    @given(hostile_text)
+    def test_delta_apply_against_random_doc(self, text):
+        """A parsed hostile delta applied to a random document may fail
+        only with a ReproError."""
+        try:
+            delta = Delta.parse(text)
+        except ReproError:
+            return
+        must_not_crash(lambda d: d.apply("some document text"), delta)
+
+
+class TestLoadDocumentRobustness:
+    @settings(max_examples=150, deadline=None)
+    @given(almost_wire)
+    def test_load_document_never_crashes(self, text):
+        from repro.core import load_document
+
+        def load(value):
+            load_document(value, password="pw")
+
+        must_not_crash(load, text)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_record_level_garbage(self, data):
+        """Structurally valid wire framing around random record bytes."""
+        from repro.core import load_document
+        from repro.encoding.wire import Record, encode_records, DocumentHeader
+
+        n = data.draw(st.integers(0, 6))
+        records = [
+            Record(
+                char_count=data.draw(st.integers(0, 255)),
+                block=data.draw(st.binary(min_size=16, max_size=16)),
+            )
+            for _ in range(n)
+        ]
+        header = DocumentHeader(
+            scheme=data.draw(st.sampled_from(["recb", "rpc"])),
+            block_chars=8, nonce_bits=32, salt=b"\x00" * 10,
+        )
+        wire = header.encode() + encode_records(records)
+        must_not_crash(lambda w: load_document(w, password="pw"), wire)

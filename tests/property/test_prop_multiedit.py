@@ -1,0 +1,104 @@
+"""Property tests targeting multi-cluster deltas.
+
+One delta carrying several far-apart edits exercises the IncE
+clustering machinery hardest: span location under accumulated
+rank/char shifts, neighbour absorption for emptied spans, and patch
+emission in old-wire coordinates.  These strategies deliberately
+generate block-aligned deletions and small inter-cluster gaps — the
+geometry where any off-by-one in the cluster bookkeeping would break
+the commuting square.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Delta, KeyMaterial, create_document, load_document
+from repro.core.delta import Delete, Insert, Retain
+from repro.crypto.random import DeterministicRandomSource
+
+KEYS = KeyMaterial.from_password("prop", salt=b"multi-salt")
+
+
+@st.composite
+def multi_cluster_case(draw):
+    length = draw(st.integers(40, 120))
+    block_chars = draw(st.sampled_from([1, 2, 4, 8]))
+    scheme = draw(st.sampled_from(["recb", "rpc"]))
+    text = "".join(
+        draw(st.sampled_from("abcdef")) for _ in range(length)
+    )
+    # two to three edit groups separated by gaps straddling the
+    # clustering threshold
+    ops = []
+    cursor = 0
+    for _ in range(draw(st.integers(2, 3))):
+        gap = draw(st.integers(9, 40))
+        if cursor + gap >= length:
+            break
+        ops.append(Retain(gap if cursor else max(1, gap)))
+        cursor += gap if cursor else max(1, gap)
+        kind = draw(st.sampled_from(["delete", "insert", "both"]))
+        if kind in ("delete", "both") and cursor < length:
+            count = min(draw(st.integers(1, 16)), length - cursor)
+            # bias toward block-aligned deletions (the absorb path)
+            if draw(st.booleans()):
+                count = max(block_chars,
+                            count - count % block_chars or block_chars)
+                count = min(count, length - cursor)
+            ops.append(Delete(count))
+            cursor += count
+        if kind in ("insert", "both"):
+            ops.append(Insert("X" * draw(st.integers(1, 10))))
+    if not ops:
+        ops = [Insert("Y")]
+    return text, Delta(ops), scheme, block_chars
+
+
+class TestMultiClusterDeltas:
+    @settings(max_examples=250, deadline=None)
+    @given(multi_cluster_case(), st.integers(0, 10_000))
+    def test_commuting_square(self, case, seed):
+        text, delta, scheme, block_chars = case
+        doc = create_document(
+            text, key_material=KEYS, scheme=scheme,
+            block_chars=block_chars,
+            rng=DeterministicRandomSource(seed),
+        )
+        expected = delta.apply(text)
+        server = doc.wire()
+        server = doc.apply_delta(delta).apply(server)
+        assert doc.text == expected
+        assert server == doc.wire()
+        assert load_document(server, key_material=KEYS).text == expected
+
+    @settings(max_examples=120, deadline=None)
+    @given(multi_cluster_case(), st.integers(0, 10_000))
+    def test_rpc_chain_survives(self, case, seed):
+        text, delta, _, block_chars = case
+        doc = create_document(
+            text, key_material=KEYS, scheme="rpc",
+            block_chars=block_chars,
+            rng=DeterministicRandomSource(seed),
+        )
+        doc.apply_delta(delta)
+        doc.verify()
+
+    @settings(max_examples=120, deadline=None)
+    @given(multi_cluster_case(), st.integers(0, 10_000))
+    def test_tail_deletion_absorb(self, case, seed):
+        """Append a delete-to-end to stress the absorb-left path."""
+        text, delta, scheme, block_chars = case
+        doc = create_document(
+            text, key_material=KEYS, scheme=scheme,
+            block_chars=block_chars,
+            rng=DeterministicRandomSource(seed),
+        )
+        mid = delta.apply(text)
+        if len(mid) < 20:
+            return
+        tail = Delta([Retain(len(mid) - 13), Delete(13)])
+        server = doc.wire()
+        server = doc.apply_delta(delta).apply(server)
+        server = doc.apply_delta(tail).apply(server)
+        assert doc.text == tail.apply(mid)
+        assert server == doc.wire()

@@ -1,0 +1,92 @@
+"""Property tests for operational transformation: TP1 convergence and
+compose correctness over arbitrary concurrent deltas."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import Delete, Delta, Insert, Retain
+from repro.core.ot import compose, transform
+
+documents = st.text(alphabet="abcde ", max_size=40)
+
+
+@st.composite
+def delta_for_length(draw, length):
+    ops = []
+    cursor = 0
+    current = length
+    for _ in range(draw(st.integers(0, 5))):
+        kind = draw(st.sampled_from(["retain", "insert", "delete"]))
+        if kind == "retain" and cursor < current:
+            n = draw(st.integers(1, current - cursor))
+            ops.append(Retain(n))
+            cursor += n
+        elif kind == "insert":
+            text = draw(st.text(alphabet="XYZ", min_size=1, max_size=6))
+            ops.append(Insert(text))
+            cursor += len(text)
+            current += len(text)
+        elif kind == "delete" and cursor < current:
+            n = draw(st.integers(1, current - cursor))
+            ops.append(Delete(n))
+            current -= n
+    return Delta(ops)
+
+
+@st.composite
+def concurrent_pair(draw):
+    doc = draw(documents)
+    a = draw(delta_for_length(len(doc)))
+    b = draw(delta_for_length(len(doc)))
+    return doc, a, b
+
+
+class TestTP1:
+    @settings(max_examples=400)
+    @given(concurrent_pair())
+    def test_convergence(self, case):
+        doc, a, b = case
+        a_prime = transform(a, b, "left")
+        b_prime = transform(b, a, "right")
+        assert a_prime.apply(b.apply(doc)) == b_prime.apply(a.apply(doc))
+
+    @settings(max_examples=200)
+    @given(concurrent_pair())
+    def test_transform_preserves_net_insertions(self, case):
+        """Every character a inserts survives into the merged document."""
+        doc, a, b = case
+        merged = transform(a, b, "left").apply(b.apply(doc))
+        for op in a.ops:
+            if isinstance(op, Insert):
+                assert op.text in merged or all(
+                    ch in merged for ch in op.text
+                )
+
+    @settings(max_examples=200)
+    @given(documents, st.data())
+    def test_transform_against_identity(self, doc, data):
+        a = data.draw(delta_for_length(len(doc)))
+        out = transform(a, Delta(()), "left")
+        assert out.apply(doc) == a.apply(doc)
+
+
+class TestCompose:
+    @settings(max_examples=400)
+    @given(documents, st.data())
+    def test_compose_equals_sequential_apply(self, doc, data):
+        first = data.draw(delta_for_length(len(doc)))
+        middle = first.apply(doc)
+        second = data.draw(delta_for_length(len(middle)))
+        assert compose(first, second).apply(doc) == second.apply(middle)
+
+    @settings(max_examples=150)
+    @given(documents, st.data())
+    def test_compose_associative_in_effect(self, doc, data):
+        d1 = data.draw(delta_for_length(len(doc)))
+        s1 = d1.apply(doc)
+        d2 = data.draw(delta_for_length(len(s1)))
+        s2 = d2.apply(s1)
+        d3 = data.draw(delta_for_length(len(s2)))
+        left = compose(compose(d1, d2), d3)
+        right = compose(d1, compose(d2, d3))
+        assert left.apply(doc) == right.apply(doc)

@@ -1,0 +1,117 @@
+"""Property tests: both index structures always agree with the oracle.
+
+A stateful rule machine drives IndexedSkipList and IndexedAVL through
+arbitrary interleavings of every operation, comparing each result with
+the trivially correct ReferenceIndex and re-validating structural
+invariants (spans, AVL balance, aggregates) after every step.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.datastructures import IndexedAVL, IndexedSkipList, ReferenceIndex
+
+WIDTHS = st.integers(min_value=1, max_value=8)
+
+
+class IndexAgreement(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.ref = ReferenceIndex()
+        self.structs = [
+            IndexedSkipList(rng=random.Random(12345)),
+            IndexedAVL(),
+        ]
+        self.counter = 0
+
+    # -- mutations ----------------------------------------------------
+
+    @rule(data=st.data(), width=WIDTHS)
+    def insert(self, data, width):
+        rank = data.draw(st.integers(0, len(self.ref)), label="rank")
+        value = self.counter
+        self.counter += 1
+        self.ref.insert(rank, value, width)
+        for s in self.structs:
+            s.insert(rank, value, width)
+
+    @rule(data=st.data(), count=st.integers(1, 5), width=WIDTHS)
+    def extend(self, data, count, width):
+        items = []
+        for _ in range(count):
+            items.append((self.counter, width))
+            self.counter += 1
+        self.ref.extend(items)
+        for s in self.structs:
+            s.extend(items)
+
+    @precondition(lambda self: len(self.ref) > 0)
+    @rule(data=st.data())
+    def delete(self, data):
+        rank = data.draw(st.integers(0, len(self.ref) - 1), label="rank")
+        want = self.ref.delete(rank)
+        for s in self.structs:
+            assert s.delete(rank) == want
+
+    @precondition(lambda self: len(self.ref) > 0)
+    @rule(data=st.data(), width=WIDTHS)
+    def replace(self, data, width):
+        rank = data.draw(st.integers(0, len(self.ref) - 1), label="rank")
+        value = -self.counter
+        self.counter += 1
+        self.ref.replace(rank, value, width)
+        for s in self.structs:
+            s.replace(rank, value, width)
+
+    # -- queries ---------------------------------------------------------
+
+    @precondition(lambda self: self.ref.total_chars > 0)
+    @rule(data=st.data())
+    def find_char(self, data):
+        index = data.draw(
+            st.integers(0, self.ref.total_chars - 1), label="char"
+        )
+        want = self.ref.find_char(index)
+        for s in self.structs:
+            assert s.find_char(index) == want
+
+    @precondition(lambda self: len(self.ref) > 0)
+    @rule(data=st.data())
+    def get_and_start(self, data):
+        rank = data.draw(st.integers(0, len(self.ref) - 1), label="rank")
+        for s in self.structs:
+            assert s.get(rank) == self.ref.get(rank)
+            assert s.char_start(rank) == self.ref.char_start(rank)
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def sizes_agree(self):
+        for s in self.structs:
+            assert len(s) == len(self.ref)
+            assert s.total_chars == self.ref.total_chars
+
+    @invariant()
+    def structures_valid(self):
+        for s in self.structs:
+            s.checkrep()
+
+    @invariant()
+    def full_walk_agrees(self):
+        want = list(self.ref.items())
+        for s in self.structs:
+            assert list(s.items()) == want
+
+
+TestIndexAgreement = IndexAgreement.TestCase
+TestIndexAgreement.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

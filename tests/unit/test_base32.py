@@ -1,0 +1,59 @@
+"""Base32 codec vs the standard library, plus strictness checks."""
+
+import base64
+import os
+
+import pytest
+
+from repro.encoding import base32
+from repro.errors import CiphertextFormatError
+
+
+class TestAgainstStdlib:
+    @pytest.mark.parametrize("n", list(range(0, 21)) + [40, 63, 100])
+    def test_padded_encoding_matches_stdlib(self, n):
+        data = os.urandom(n)
+        assert base32.encode(data, pad=True) == base64.b32encode(data).decode()
+
+    @pytest.mark.parametrize("n", list(range(0, 21)))
+    def test_decode_accepts_stdlib_output(self, n):
+        data = os.urandom(n)
+        assert base32.decode(base64.b32encode(data).decode()) == data
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", list(range(0, 30)))
+    def test_unpadded_round_trip(self, n):
+        data = os.urandom(n)
+        encoded = base32.encode(data)
+        assert "=" not in encoded
+        assert base32.decode(encoded) == data
+
+    @pytest.mark.parametrize("n", list(range(0, 30)))
+    def test_encoded_length_formula(self, n):
+        assert base32.encoded_length(n) == len(base32.encode(os.urandom(n)))
+
+
+class TestStrictness:
+    def test_rejects_bad_character(self):
+        with pytest.raises(CiphertextFormatError):
+            base32.decode("ABC1")  # '1' is not in the alphabet
+
+    def test_rejects_lowercase(self):
+        with pytest.raises(CiphertextFormatError):
+            base32.decode("abcd")
+
+    @pytest.mark.parametrize("tail_len", [1, 3, 6])
+    def test_rejects_impossible_tail_lengths(self, tail_len):
+        with pytest.raises(CiphertextFormatError):
+            base32.decode("A" * (8 + tail_len))
+
+    def test_rejects_noncanonical_tail_bits(self):
+        # "BB" decodes 1 byte but the second char carries spare bits
+        # that a canonical encoder would zero.
+        with pytest.raises(CiphertextFormatError):
+            base32.decode("BB")
+
+    def test_empty(self):
+        assert base32.decode("") == b""
+        assert base32.encode(b"") == ""

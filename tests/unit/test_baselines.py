@@ -1,0 +1,81 @@
+"""Baselines: CoClo whole-document re-encryption and the naive
+fixed-alignment store."""
+
+import pytest
+
+from repro.baselines import CocloDocument, NaiveAlignedDocument
+from repro.core import Delta
+
+
+@pytest.fixture
+def coclo(keys, nonce_rng):
+    return CocloDocument("the whole document gets re-encrypted",
+                         key_material=keys, rng=nonce_rng)
+
+
+@pytest.fixture
+def naive(keys, nonce_rng):
+    return NaiveAlignedDocument(
+        "fixed alignment means realignment on every length change",
+        key_material=keys, block_chars=8, rng=nonce_rng,
+    )
+
+
+class TestCoclo:
+    def test_server_tracks_cdeltas(self, coclo):
+        server = coclo.wire()
+        for delta in [Delta.insertion(4, "XYZ"), Delta.deletion(0, 2),
+                      Delta.replacement(5, 3, "abc")]:
+            server = coclo.apply_delta(delta).apply(server)
+            assert server == coclo.wire()
+
+    def test_every_update_replaces_everything(self, coclo):
+        cdelta = coclo.insert(0, "x")
+        from repro.core.delta import Delete
+        deleted = sum(
+            op.count for op in cdelta.ops if isinstance(op, Delete)
+        )
+        # the whole previous record area is deleted
+        assert deleted >= coclo.wire_length() - 200
+
+    def test_text_and_metrics(self, coclo):
+        assert "re-encrypted" in coclo.text
+        assert coclo.blowup() > 1
+        assert coclo.wire_length() == len(coclo.wire())
+
+    def test_requires_credentials(self):
+        with pytest.raises(ValueError):
+            CocloDocument("x")
+
+
+class TestNaiveAligned:
+    def test_server_tracks_cdeltas(self, naive):
+        server = naive.wire()
+        for delta in [Delta.insertion(3, "12"), Delta.deletion(10, 4),
+                      Delta.insertion(0, "front")]:
+            server = naive.apply_delta(delta).apply(server)
+            assert server == naive.wire()
+
+    def test_front_insert_reencrypts_everything(self, naive):
+        before = naive.blocks_reencrypted
+        naive.insert(0, "x")
+        reencrypted = naive.blocks_reencrypted - before
+        # every block from position 0 onwards (all of them)
+        assert reencrypted >= (naive.char_length - 1) // 8
+
+    def test_back_insert_reencrypts_little(self, naive):
+        before = naive.blocks_reencrypted
+        naive.insert(naive.char_length, "x")
+        assert naive.blocks_reencrypted - before <= 2
+
+    def test_same_length_in_block_replace_is_local(self, naive):
+        before = naive.blocks_reencrypted
+        naive.apply_delta(Delta.replacement(1, 2, "XY"))
+        assert naive.blocks_reencrypted - before == 1
+
+    def test_identity_delta(self, naive):
+        assert naive.apply_delta(Delta(())) == Delta(())
+
+    def test_requires_credentials(self):
+        with pytest.raises(ValueError):
+            NaiveAlignedDocument("x")

@@ -1,0 +1,55 @@
+"""Benchmark harness helpers."""
+
+import time
+
+from repro.bench import Sample, Stopwatch, ms_per_char, pct, render_table
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure():
+            time.sleep(0.01)
+        with watch.measure():
+            time.sleep(0.01)
+        assert watch.elapsed >= 0.02
+        assert len(watch.laps) == 2
+
+
+class TestSample:
+    def test_stats(self):
+        sample = Sample()
+        for v in (1.0, 2.0, 3.0):
+            sample.add(v)
+        assert sample.mean == 2.0
+        assert 0.9 < sample.dev < 1.1
+        assert len(sample) == 3
+
+    def test_empty_and_single(self):
+        assert Sample().mean == 0.0
+        single = Sample([5.0])
+        assert single.mean == 5.0 and single.dev == 0.0
+
+
+class TestFormatting:
+    def test_ms_per_char(self):
+        assert ms_per_char(1.0, 1000) == 1.0
+        assert ms_per_char(1.0, 0) == 0.0
+
+    def test_pct(self):
+        assert pct(0.25) == "25%"
+        assert pct(0.088) == "8.8%"
+
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["workload", "mean", "dev"],
+            [["inserts only", "6.2%", ".049"], ["deletes", "3.1%", ".012"]],
+            title="Fig. 5",
+        )
+        lines = table.splitlines()
+        assert "Fig. 5" in table
+        assert "inserts only" in table
+        header_idx = next(
+            i for i, line in enumerate(lines) if "workload" in line
+        )
+        assert set(lines[header_idx + 1]) == {"-"}

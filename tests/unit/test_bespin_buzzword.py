@@ -1,0 +1,146 @@
+"""Bespin and Buzzword: servers, clients, and their extensions."""
+
+import pytest
+
+from repro.client.bespin_client import BespinClient
+from repro.client.buzzword_client import BuzzwordClient
+from repro.crypto.random import DeterministicRandomSource
+from repro.encoding.wire import looks_encrypted
+from repro.errors import BlockedRequestError
+from repro.extension.bespin_ext import BespinExtension
+from repro.extension.buzzword_ext import BuzzwordExtension
+from repro.extension.passwords import PasswordVault
+from repro.net.channel import Channel
+from repro.net.http import HttpRequest
+from repro.services import bespin, buzzword
+from repro.services.bespin import BespinServer
+from repro.services.buzzword import BuzzwordServer
+
+
+class TestBespinServer:
+    def test_put_get_round_trip(self):
+        server = BespinServer()
+        ch = Channel(server)
+        ch.send(bespin.put_request("proj/main.py", "print('hi')"))
+        resp = ch.send(bespin.get_request("proj/main.py"))
+        assert resp.body == "print('hi')"
+
+    def test_missing_file(self):
+        ch = Channel(BespinServer())
+        assert ch.send(bespin.get_request("nope")).status == 404
+
+    def test_listing(self):
+        server = BespinServer()
+        ch = Channel(server)
+        ch.send(bespin.put_request("p/a.py", "1"))
+        ch.send(bespin.put_request("p/b.py", "2"))
+        resp = ch.send(HttpRequest("GET", f"http://{bespin.HOST}/file/list/p/"))
+        assert resp.form["files"] == "p/a.py\np/b.py"
+
+    def test_delete(self):
+        server = BespinServer()
+        ch = Channel(server)
+        ch.send(bespin.put_request("p/a.py", "1"))
+        ch.send(HttpRequest("DELETE", bespin.file_url("p/a.py")))
+        assert ch.send(bespin.get_request("p/a.py")).status == 404
+
+
+class TestBespinPrivateEditing:
+    def _stack(self):
+        server = BespinServer()
+        ch = Channel(server)
+        vault = PasswordVault({"proj/secret.py": "pw"})
+        ext = BespinExtension(vault, rng=DeterministicRandomSource(1))
+        ch.set_mediator(ext)
+        return server, ch
+
+    def test_server_sees_only_ciphertext(self):
+        server, ch = self._stack()
+        client = BespinClient(ch, "proj/secret.py")
+        client.open()
+        client.editor.insert(0, "API_KEY = 'hunter2'")
+        client.save()
+        stored = server.files["proj/secret.py"]
+        assert looks_encrypted(stored)
+        assert "hunter2" not in stored
+
+    def test_round_trip_through_extension(self):
+        server, ch = self._stack()
+        client = BespinClient(ch, "proj/secret.py")
+        client.open()
+        client.editor.insert(0, "x = 1")
+        client.save()
+        # a second client (same vault/extension) reads it back decrypted
+        client2 = BespinClient(ch, "proj/secret.py")
+        assert client2.open() == "x = 1"
+
+    def test_unknown_requests_blocked(self):
+        _, ch = self._stack()
+        with pytest.raises(BlockedRequestError):
+            ch.send(HttpRequest("POST", f"http://{bespin.HOST}/admin"))
+
+
+class TestBuzzwordXml:
+    def test_escape_round_trip(self):
+        text = "a < b & c > d"
+        assert buzzword.xml_unescape(buzzword.xml_escape(text)) == text
+
+    def test_document_xml_and_text_runs(self):
+        xml = buzzword.document_xml(["para one", "two & three"])
+        assert buzzword.text_runs(xml) == ["para one", "two & three"]
+
+    def test_map_text_runs_preserves_structure(self):
+        xml = buzzword.document_xml(["a", "b"])
+        mapped = buzzword.map_text_runs(xml, str.upper)
+        assert buzzword.text_runs(mapped) == ["A", "B"]
+        assert mapped.count("<p>") == 2
+
+
+class TestBuzzwordServer:
+    def test_post_get(self):
+        ch = Channel(BuzzwordServer())
+        xml = buzzword.document_xml(["hello"])
+        ch.send(buzzword.post_request("d1", xml))
+        assert ch.send(buzzword.get_request("d1")).body == xml
+
+    def test_wordcount_feature(self):
+        ch = Channel(BuzzwordServer())
+        ch.send(buzzword.post_request(
+            "d1", buzzword.document_xml(["three words here", "and more"])
+        ))
+        resp = ch.send(buzzword.get_request("d1/wordcount"))
+        assert resp.form["words"] == "5"
+
+
+class TestBuzzwordPrivateEditing:
+    def _stack(self):
+        server = BuzzwordServer()
+        ch = Channel(server)
+        vault = PasswordVault({"d1": "pw"})
+        ext = BuzzwordExtension(vault, rng=DeterministicRandomSource(2))
+        ch.set_mediator(ext)
+        return server, ch
+
+    def test_text_runs_encrypted_structure_visible(self):
+        server, ch = self._stack()
+        client = BuzzwordClient(ch, "d1")
+        client.paragraphs = ["top secret paragraph", "another one"]
+        client.save()
+        stored = server.documents["d1"]
+        assert "<doc>" in stored and stored.count("<textRun>") == 2
+        assert "secret" not in stored
+        for run in buzzword.text_runs(stored):
+            assert looks_encrypted(run)
+
+    def test_round_trip(self):
+        server, ch = self._stack()
+        client = BuzzwordClient(ch, "d1")
+        client.paragraphs = ["alpha", "beta & <gamma>"]
+        client.save()
+        client2 = BuzzwordClient(ch, "d1")
+        assert client2.open() == ["alpha", "beta & <gamma>"]
+
+    def test_wordcount_blocked_under_extension(self):
+        _, ch = self._stack()
+        with pytest.raises(BlockedRequestError):
+            ch.send(buzzword.get_request("d1/wordcount"))

@@ -1,0 +1,44 @@
+"""AesCipher facade: scalar/batch path selection must be invisible."""
+
+import os
+
+from repro.crypto.blockcipher import BLOCK_SIZE, AesCipher, BlockCipher
+
+
+class TestAesCipher:
+    def test_satisfies_protocol(self):
+        assert isinstance(AesCipher(bytes(16)), BlockCipher)
+
+    def test_block_round_trip(self):
+        cipher = AesCipher(os.urandom(16))
+        block = os.urandom(BLOCK_SIZE)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_many_below_threshold_matches_blockwise(self):
+        cipher = AesCipher(bytes(16))
+        data = os.urandom(16 * 3)  # below the batch threshold
+        want = b"".join(
+            cipher.encrypt_block(data[i : i + 16])
+            for i in range(0, len(data), 16)
+        )
+        assert cipher.encrypt_many(data) == want
+
+    def test_many_above_threshold_matches_blockwise(self):
+        cipher = AesCipher(bytes(16))
+        data = os.urandom(16 * 64)  # above the batch threshold
+        want = b"".join(
+            cipher.encrypt_block(data[i : i + 16])
+            for i in range(0, len(data), 16)
+        )
+        assert cipher.encrypt_many(data) == want
+
+    def test_many_round_trip_both_paths(self):
+        cipher = AesCipher(os.urandom(16))
+        for nblocks in (2, 64):
+            data = os.urandom(16 * nblocks)
+            assert cipher.decrypt_many(cipher.encrypt_many(data)) == data
+
+    def test_empty_many(self):
+        cipher = AesCipher(bytes(16))
+        assert cipher.encrypt_many(b"") == b""
+        assert cipher.decrypt_many(b"") == b""

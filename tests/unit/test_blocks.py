@@ -1,0 +1,77 @@
+"""Multi-character block packing and chunking."""
+
+import pytest
+
+from repro.core import blocks
+from repro.errors import BlockSizeError
+
+
+class TestPacking:
+    def test_round_trip_ascii(self):
+        for chunk in ["", "a", "abcdefgh"]:
+            assert blocks.unpack_chars(blocks.pack_chars(chunk)) == chunk
+
+    def test_round_trip_unicode(self):
+        for chunk in ["é", "中文", "日本語"[:2], "🎉"]:
+            assert blocks.unpack_chars(blocks.pack_chars(chunk)) == chunk
+
+    def test_padded_to_payload_width(self):
+        assert len(blocks.pack_chars("a")) == blocks.PAYLOAD_BYTES
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(BlockSizeError):
+            blocks.pack_chars("ééééé")  # 10 UTF-8 bytes
+
+    def test_nul_rejected(self):
+        with pytest.raises(BlockSizeError):
+            blocks.pack_chars("a\x00b")
+
+    def test_unpack_wrong_width(self):
+        with pytest.raises(BlockSizeError):
+            blocks.unpack_chars(b"abc")
+
+
+class TestChunking:
+    def test_exact_multiple(self):
+        assert blocks.chunk_text("abcdefgh" * 2, 8) == ["abcdefgh"] * 2
+
+    def test_remainder(self):
+        assert blocks.chunk_text("abcdefghij", 8) == ["abcdefgh", "ij"]
+
+    def test_block_chars_parameter(self):
+        assert blocks.chunk_text("abcdef", 2) == ["ab", "cd", "ef"]
+        assert blocks.chunk_text("abcdef", 1) == list("abcdef")
+
+    def test_empty(self):
+        assert blocks.chunk_text("", 8) == []
+
+    def test_utf8_byte_limit_respected(self):
+        # 8 chars of 3-byte CJK would be 24 bytes; chunks must shrink.
+        chunks = blocks.chunk_text("中" * 10, 8)
+        assert all(
+            len(c.encode("utf-8")) <= blocks.PAYLOAD_BYTES for c in chunks
+        )
+        assert "".join(chunks) == "中" * 10
+
+    def test_mixed_width_text(self):
+        text = "aé中b🎉cd"
+        chunks = blocks.chunk_text(text, 8)
+        assert "".join(chunks) == text
+        assert all(
+            len(c) <= 8 and len(c.encode("utf-8")) <= 8 for c in chunks
+        )
+
+    @pytest.mark.parametrize("bad", [0, -1, 9, 100])
+    def test_bad_block_chars(self, bad):
+        with pytest.raises(BlockSizeError):
+            blocks.chunk_text("abc", bad)
+
+    def test_nul_in_text_rejected(self):
+        with pytest.raises(BlockSizeError):
+            blocks.chunk_text("a\x00b", 8)
+
+    def test_greedy_fill(self):
+        """Fresh chunking leaves no fragmentation: every chunk but the
+        last is at capacity."""
+        chunks = blocks.chunk_text("x" * 100, 7)
+        assert all(len(c) == 7 for c in chunks[:-1])

@@ -1,0 +1,86 @@
+"""Delta derivation: simple trim and Myers diff."""
+
+import random
+
+import pytest
+
+from repro.workloads.diff import derive_delta, myers_delta, simple_delta
+
+
+class TestSimpleDelta:
+    def test_equal_strings(self):
+        assert simple_delta("abc", "abc").is_identity
+
+    def test_pure_insert(self):
+        delta = simple_delta("ab", "aXb")
+        assert delta.apply("ab") == "aXb"
+        assert delta.chars_deleted == 0
+
+    def test_pure_delete(self):
+        delta = simple_delta("aXb", "ab")
+        assert delta.apply("aXb") == "ab"
+        assert delta.chars_inserted == 0
+
+    def test_total_replacement(self):
+        delta = simple_delta("aaaa", "bbbb")
+        assert delta.apply("aaaa") == "bbbb"
+
+    def test_empty_to_text(self):
+        assert simple_delta("", "abc").apply("") == "abc"
+
+    def test_text_to_empty(self):
+        assert simple_delta("abc", "").apply("abc") == ""
+
+    def test_overlapping_prefix_suffix(self):
+        # old="aa", new="aaa": prefix+suffix overlap must not double-count
+        delta = simple_delta("aa", "aaa")
+        assert delta.apply("aa") == "aaa"
+
+
+class TestMyersDelta:
+    def test_minimality_on_single_edit(self):
+        delta = myers_delta("abcdef", "abXcdef")
+        assert delta.chars_inserted == 1 and delta.chars_deleted == 0
+
+    def test_minimality_on_substitution(self):
+        delta = myers_delta("abcdef", "abXdef")
+        assert delta.chars_inserted == 1 and delta.chars_deleted == 1
+
+    def test_correctness_random(self):
+        rng = random.Random(17)
+        for _ in range(200):
+            old = "".join(rng.choice("abc") for _ in range(rng.randint(0, 40)))
+            new = "".join(rng.choice("abc") for _ in range(rng.randint(0, 40)))
+            assert myers_delta(old, new).apply(old) == new
+
+    def test_bounded_falls_back(self):
+        old = "a" * 50
+        new = "b" * 50
+        delta = myers_delta(old, new, max_distance=5)
+        assert delta.apply(old) == new  # still correct via fallback
+
+    def test_never_worse_than_simple(self):
+        rng = random.Random(23)
+        for _ in range(50):
+            old = "".join(rng.choice("abcd") for _ in range(30))
+            new = list(old)
+            for _ in range(4):
+                idx = rng.randrange(len(new))
+                new[idx] = rng.choice("abcd")
+            new = "".join(new)
+            m = myers_delta(old, new)
+            s = simple_delta(old, new)
+            assert (m.chars_inserted + m.chars_deleted
+                    <= s.chars_inserted + s.chars_deleted)
+
+
+class TestDeriveDelta:
+    def test_round_trip(self):
+        old = "the quick brown fox"
+        new = "the slow brown foxes"
+        assert derive_delta(old, new).apply(old) == new
+
+    def test_handles_unrelated_inputs(self):
+        old = "x" * 2000
+        new = "y" * 2000
+        assert derive_delta(old, new).apply(old) == new

@@ -1,0 +1,240 @@
+"""RecbDocument: Enc/Dec/IncE over the confidentiality-only scheme."""
+
+import pytest
+
+from repro.core import Delta, create_document, load_document
+from repro.core.document import RecbDocument
+from repro.datastructures import IndexedAVL
+from repro.errors import (
+    CiphertextFormatError,
+    DeltaApplicationError,
+    PasswordError,
+)
+
+
+@pytest.fixture
+def doc(keys, nonce_rng):
+    return RecbDocument.create(
+        "The quick brown fox jumps over the lazy dog.",
+        key_material=keys, block_chars=8, rng=nonce_rng,
+    )
+
+
+class TestEncDec:
+    def test_round_trip(self, doc, keys):
+        reloaded = RecbDocument.load(doc.wire(), key_material=keys)
+        assert reloaded.text == doc.text
+
+    def test_round_trip_via_password(self, nonce_rng):
+        doc = create_document("hello", password="pw", scheme="recb",
+                              rng=nonce_rng)
+        reloaded = load_document(doc.wire(), password="pw")
+        assert reloaded.text == "hello"
+
+    def test_wrong_password(self, nonce_rng):
+        doc = create_document("hello", password="pw", scheme="recb",
+                              rng=nonce_rng)
+        with pytest.raises(Exception):
+            load_document(doc.wire(), password="nope")
+
+    @pytest.mark.parametrize("b", [1, 2, 3, 4, 5, 6, 7, 8])
+    def test_all_block_sizes(self, keys, nonce_rng, b):
+        text = "All block sizes must round-trip! é中🎉"
+        doc = RecbDocument.create(text, key_material=keys, block_chars=b,
+                                  rng=nonce_rng)
+        assert doc.text == text
+        assert RecbDocument.load(doc.wire(), key_material=keys).text == text
+
+    def test_empty_document(self, keys, nonce_rng):
+        doc = RecbDocument.create("", key_material=keys, rng=nonce_rng)
+        assert doc.text == "" and doc.char_length == 0
+        assert RecbDocument.load(doc.wire(), key_material=keys).text == ""
+
+    def test_missing_credentials(self, doc):
+        with pytest.raises(PasswordError):
+            RecbDocument.load(doc.wire())
+
+    def test_scheme_mismatch(self, doc, keys, nonce_rng):
+        from repro.core.document import RpcDocument
+        with pytest.raises(CiphertextFormatError):
+            RpcDocument.load(doc.wire(), key_material=keys)
+
+    def test_properties(self, doc):
+        assert doc.scheme == "recb"
+        assert not doc.supports_integrity
+        assert doc.block_chars == 8
+        assert doc.char_length == 44
+        assert doc.block_count == 6  # ceil(44/8)
+
+
+class TestIncE:
+    def test_insert_middle(self, doc):
+        plain = doc.text
+        server = doc.wire()
+        cdelta = doc.insert(10, "XYZ")
+        assert doc.text == plain[:10] + "XYZ" + plain[10:]
+        assert cdelta.apply(server) == doc.wire()
+
+    def test_insert_front_and_back(self, doc):
+        server = doc.wire()
+        server = doc.insert(0, ">>").apply(server)
+        server = doc.insert(doc.char_length, "<<").apply(server)
+        assert server == doc.wire()
+        assert doc.text.startswith(">>") and doc.text.endswith("<<")
+
+    def test_delete_across_blocks(self, doc):
+        plain = doc.text
+        server = doc.wire()
+        cdelta = doc.delete(4, 20)
+        assert doc.text == plain[:4] + plain[24:]
+        assert cdelta.apply(server) == doc.wire()
+
+    def test_delete_everything(self, doc, keys):
+        server = doc.wire()
+        cdelta = doc.delete(0, doc.char_length)
+        assert doc.text == ""
+        server = cdelta.apply(server)
+        assert server == doc.wire()
+        assert RecbDocument.load(server, key_material=keys).text == ""
+
+    def test_insert_into_empty(self, keys, nonce_rng):
+        doc = RecbDocument.create("", key_material=keys, rng=nonce_rng)
+        server = doc.wire()
+        cdelta = doc.insert(0, "reborn")
+        assert cdelta.apply(server) == doc.wire()
+        assert doc.text == "reborn"
+
+    def test_multi_edit_delta(self, doc):
+        plain = doc.text
+        server = doc.wire()
+        delta = Delta.parse("=4\t-6\t+quiet\t=10\t+ very")
+        cdelta = doc.apply_delta(delta)
+        assert doc.text == delta.apply(plain)
+        assert cdelta.apply(server) == doc.wire()
+
+    def test_identity_delta(self, doc):
+        assert doc.apply_delta(Delta(())) == Delta(())
+        assert doc.apply_delta(Delta.parse("=5")) == Delta(())
+
+    def test_delta_too_long_rejected(self, doc):
+        with pytest.raises(DeltaApplicationError):
+            doc.apply_delta(Delta.parse("=1000\t-1"))
+
+    def test_nul_insert_rejected(self, doc):
+        from repro.errors import BlockSizeError
+        with pytest.raises(BlockSizeError):
+            doc.insert(0, "a\x00b")
+
+    def test_incremental_touches_few_records(self, doc):
+        """IncE is sub-linear: a 1-char edit rewrites O(1) records."""
+        from repro.core.delta import Delete, Insert
+        cdelta = doc.insert(20, "x")
+        deleted = sum(
+            op.count for op in cdelta.ops if isinstance(op, Delete)
+        )
+        inserted = sum(
+            len(op.text) for op in cdelta.ops if isinstance(op, Insert)
+        )
+        from repro.encoding.wire import RECORD_CHARS
+        assert deleted <= 2 * RECORD_CHARS
+        assert inserted <= 3 * RECORD_CHARS
+
+
+class TestRandomAccess:
+    def test_decrypt_char(self, doc):
+        plain = doc.text
+        for index in [0, 7, 8, 20, len(plain) - 1]:
+            assert doc.decrypt_char(index) == plain[index]
+
+    def test_decrypt_char_out_of_range(self, doc):
+        with pytest.raises(IndexError):
+            doc.decrypt_char(doc.char_length)
+
+
+class TestAlternativeIndex:
+    def test_avl_backing(self, keys, nonce_rng):
+        doc = RecbDocument.create(
+            "backed by an AVL tree instead", key_material=keys,
+            rng=nonce_rng, index_factory=IndexedAVL,
+        )
+        server = doc.wire()
+        server = doc.insert(5, "!!").apply(server)
+        server = doc.delete(0, 3).apply(server)
+        assert server == doc.wire()
+        assert RecbDocument.load(server, key_material=keys,
+                                 index_factory=IndexedAVL).text == doc.text
+
+
+class TestMetrics:
+    def test_blowup_decreases_with_block_size(self, keys, nonce_rng):
+        text = "y" * 800
+        blow = [
+            RecbDocument.create(text, key_material=keys, block_chars=b,
+                                rng=nonce_rng).blowup()
+            for b in (1, 4, 8)
+        ]
+        assert blow[0] > blow[1] > blow[2]
+
+    def test_fill_histogram(self, doc):
+        hist = doc.block_fill_histogram()
+        assert sum(k * v for k, v in hist.items()) == doc.char_length
+
+    def test_wire_length_matches(self, doc):
+        assert doc.wire_length() == len(doc.wire())
+
+
+class TestRangeAccess:
+    def test_decrypt_range_matches_slice(self, doc):
+        plain = doc.text
+        for start, end in [(0, 5), (7, 9), (8, 24), (0, len(plain)),
+                           (len(plain) - 1, len(plain)), (3, 3)]:
+            assert doc.decrypt_range(start, end) == plain[start:end]
+
+    def test_decrypt_range_after_edits(self, doc):
+        doc.insert(10, "INSERTED")
+        doc.delete(0, 4)
+        plain = doc.text
+        assert doc.decrypt_range(5, 20) == plain[5:20]
+
+    def test_decrypt_range_bounds(self, doc):
+        with pytest.raises(IndexError):
+            doc.decrypt_range(0, doc.char_length + 1)
+        with pytest.raises(IndexError):
+            doc.decrypt_range(5, 2)
+
+    def test_range_access_touches_few_records(self, keys, nonce_rng):
+        """Reading 16 chars of a 20k-char doc decrypts O(1) records,
+        not the document."""
+        from repro.core.document import RecbDocument
+        from repro.workloads.documents import document_of_length
+
+        text = document_of_length(20_000, seed=1)
+        doc = RecbDocument.create(text, key_material=keys, block_chars=8,
+                                  rng=nonce_rng)
+        calls = 0
+        original = doc._codec.decrypt_record
+
+        def counting(state, record):
+            nonlocal calls
+            calls += 1
+            return original(state, record)
+
+        doc._codec.decrypt_record = counting
+        assert doc.decrypt_range(10_000, 10_016) == text[10_000:10_016]
+        assert calls <= 4
+
+
+class TestScale:
+    def test_hundred_k_document_round_trip(self, keys, nonce_rng):
+        from repro.core.document import RecbDocument
+        text = "the quick brown fox jumps over the lazy dog. " * 2300
+        doc = RecbDocument.create(text[:100_000], key_material=keys,
+                                  block_chars=8, rng=nonce_rng)
+        assert doc.char_length == 100_000
+        assert doc.block_count == 12_500
+        # a mid-document edit stays fast and consistent
+        server = doc.wire()
+        server = doc.insert(50_000, "NEEDLE").apply(server)
+        assert server == doc.wire()
+        reloaded = RecbDocument.load(server, key_material=keys)
+        assert reloaded.text[50_000:50_006] == "NEEDLE"

@@ -1,0 +1,147 @@
+"""RpcDocument: Enc/Dec/IncE with integrity — chain maintenance under
+every edit shape."""
+
+import pytest
+
+from repro.core import Delta, load_document
+from repro.core.document import RpcDocument
+from repro.errors import IntegrityError
+
+
+@pytest.fixture
+def doc(keys, nonce_rng):
+    return RpcDocument.create(
+        "Pack my box with five dozen liquor jugs.",
+        key_material=keys, block_chars=8, rng=nonce_rng,
+    )
+
+
+class TestEncDec:
+    def test_round_trip(self, doc, keys):
+        reloaded = RpcDocument.load(doc.wire(), key_material=keys)
+        assert reloaded.text == doc.text
+
+    @pytest.mark.parametrize("b", [1, 3, 8])
+    def test_block_sizes(self, keys, nonce_rng, b):
+        text = "integrity at any block size"
+        doc = RpcDocument.create(text, key_material=keys, block_chars=b,
+                                 rng=nonce_rng)
+        assert RpcDocument.load(doc.wire(), key_material=keys).text == text
+
+    def test_empty_document(self, keys, nonce_rng):
+        doc = RpcDocument.create("", key_material=keys, rng=nonce_rng)
+        assert RpcDocument.load(doc.wire(), key_material=keys).text == ""
+
+    def test_supports_integrity(self, doc):
+        assert doc.supports_integrity
+        doc.verify()  # honest mirror verifies
+
+
+class TestIncEChainMaintenance:
+    """After every IncE the wire must still verify end-to-end AND match
+    what the server gets by applying the cdelta."""
+
+    def _check(self, doc, keys, server, cdelta):
+        server = cdelta.apply(server)
+        assert server == doc.wire()
+        reloaded = RpcDocument.load(server, key_material=keys)
+        assert reloaded.text == doc.text
+        doc.verify()
+        return server
+
+    def test_insert_at_front(self, doc, keys):
+        server = doc.wire()
+        self._check(doc, keys, server, doc.insert(0, "FRONT "))
+
+    def test_insert_at_back(self, doc, keys):
+        server = doc.wire()
+        self._check(doc, keys, server, doc.insert(doc.char_length, " END"))
+
+    def test_insert_mid_block(self, doc, keys):
+        server = doc.wire()
+        self._check(doc, keys, server, doc.insert(13, "***"))
+
+    def test_delete_first_block(self, doc, keys):
+        server = doc.wire()
+        self._check(doc, keys, server, doc.delete(0, 8))
+
+    def test_delete_last_block(self, doc, keys):
+        server = doc.wire()
+        n = doc.char_length
+        self._check(doc, keys, server, doc.delete(n - 8, 8))
+
+    def test_delete_spanning_blocks(self, doc, keys):
+        server = doc.wire()
+        self._check(doc, keys, server, doc.delete(5, 17))
+
+    def test_replace(self, doc, keys):
+        server = doc.wire()
+        self._check(doc, keys, server, doc.replace(9, 3, "crate"))
+
+    def test_delete_everything_rewrites(self, doc, keys):
+        server = doc.wire()
+        cdelta = doc.delete(0, doc.char_length)
+        server = self._check(doc, keys, server, cdelta)
+        assert doc.text == ""
+        # and the document is usable again afterwards
+        self._check(doc, keys, server, doc.insert(0, "fresh start"))
+
+    def test_empty_to_nonempty_rewrites(self, keys, nonce_rng):
+        doc = RpcDocument.create("", key_material=keys, rng=nonce_rng)
+        server = doc.wire()
+        cdelta = doc.insert(0, "hello")
+        server = cdelta.apply(server)
+        assert server == doc.wire()
+        assert RpcDocument.load(server, key_material=keys).text == "hello"
+
+    def test_long_edit_session(self, doc, keys, py_rng):
+        server = doc.wire()
+        plain = doc.text
+        for step in range(40):
+            n = len(plain)
+            roll = py_rng.random()
+            if roll < 0.5 or n < 10:
+                pos = py_rng.randint(0, n)
+                delta = Delta.insertion(pos, f"[{step}]")
+            elif roll < 0.8:
+                pos = py_rng.randrange(n - 5)
+                delta = Delta.deletion(pos, py_rng.randint(1, 5))
+            else:
+                pos = py_rng.randrange(n - 5)
+                delta = Delta.replacement(pos, 3, "###")
+            plain = delta.apply(plain)
+            server = doc.apply_delta(delta).apply(server)
+            assert doc.text == plain
+        assert server == doc.wire()
+        assert RpcDocument.load(server, key_material=keys).text == plain
+
+    def test_checksum_updates_every_edit(self, doc):
+        """The suffix record changes on each update (length amendment)."""
+        suffix_before = doc.wire()[-28:]
+        doc.insert(0, "x")
+        assert doc.wire()[-28:] != suffix_before
+
+
+class TestTamperDetectionViaLoad:
+    def test_bitflip_detected(self, doc, keys):
+        from repro.security.attacks import flip_record_byte
+        tampered = flip_record_byte(doc.wire(), rank=2)
+        with pytest.raises(Exception):  # Integrity or format error
+            load_document(tampered, key_material=keys)
+
+    def test_record_replication_detected(self, doc, keys):
+        from repro.security.attacks import replicate_record
+        with pytest.raises(IntegrityError):
+            load_document(replicate_record(doc.wire(), 2),
+                          key_material=keys)
+
+    def test_record_removal_detected(self, doc, keys):
+        from repro.security.attacks import remove_record
+        with pytest.raises(IntegrityError):
+            load_document(remove_record(doc.wire(), 3), key_material=keys)
+
+    def test_reorder_detected(self, doc, keys):
+        from repro.security.attacks import swap_records
+        with pytest.raises(IntegrityError):
+            load_document(swap_records(doc.wire(), 1, 2),
+                          key_material=keys)

@@ -1,0 +1,40 @@
+"""The exception hierarchy: everything under ReproError, sensible
+subtrees."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.CryptoError, errors.KeySizeError, errors.BlockSizeError,
+        errors.CiphertextFormatError, errors.IntegrityError,
+        errors.DecryptionError, errors.DeltaError, errors.DeltaSyntaxError,
+        errors.DeltaApplicationError, errors.TransformError,
+        errors.ProtocolError, errors.BlockedRequestError,
+        errors.QuotaExceededError, errors.SessionError,
+        errors.ConflictError, errors.PasswordError,
+        errors.DataStructureError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_crypto_subtree(self):
+        for exc in (errors.IntegrityError, errors.DecryptionError,
+                    errors.KeySizeError):
+            assert issubclass(exc, errors.CryptoError)
+
+    def test_delta_subtree(self):
+        for exc in (errors.DeltaSyntaxError, errors.DeltaApplicationError,
+                    errors.TransformError):
+            assert issubclass(exc, errors.DeltaError)
+
+    def test_protocol_subtree(self):
+        for exc in (errors.BlockedRequestError, errors.QuotaExceededError,
+                    errors.SessionError, errors.ConflictError):
+            assert issubclass(exc, errors.ProtocolError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.IntegrityError("tampered")

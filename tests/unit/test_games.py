@@ -1,0 +1,62 @@
+"""Indistinguishability games: no practical distinguisher may beat the
+coin flip (except the conceded length leak)."""
+
+import pytest
+
+from repro.security.games import (
+    chosen_ciphertext_oracle_leaks_nothing,
+    chosen_plaintext_game,
+    first_record_adversary,
+    frequency_adversary,
+    ind_game,
+    length_adversary,
+)
+
+#: with 100 trials, a fair coin stays under this advantage w.h.p.
+ADVANTAGE_BOUND = 0.30
+
+
+class TestCiphertextOnly:
+    @pytest.mark.parametrize("adversary", [
+        frequency_adversary, first_record_adversary,
+    ], ids=["frequency", "first-record"])
+    @pytest.mark.parametrize("scheme", ["recb", "rpc"])
+    def test_no_advantage_equal_lengths(self, adversary, scheme):
+        result = ind_game(adversary, trials=100, scheme=scheme, seed=3)
+        assert result.advantage < ADVANTAGE_BOUND, result
+
+    def test_length_distinguisher_wins(self):
+        """The conceded leak: length differences are fully visible."""
+        result = ind_game(length_adversary, trials=60,
+                          equal_length=False, seed=4)
+        assert result.accuracy > 0.95
+
+    def test_length_distinguisher_useless_at_equal_length(self):
+        result = ind_game(length_adversary, trials=60,
+                          equal_length=True, seed=5)
+        assert result.advantage < ADVANTAGE_BOUND
+
+
+class TestChosenPlaintext:
+    @pytest.mark.parametrize("adversary", [
+        frequency_adversary, first_record_adversary,
+    ], ids=["frequency", "first-record"])
+    def test_oracle_access_does_not_help(self, adversary):
+        result = chosen_plaintext_game(adversary, trials=60, seed=6)
+        assert result.advantage < ADVANTAGE_BOUND + 0.1, result
+
+
+class TestChosenCiphertext:
+    def test_every_tampered_query_rejected(self):
+        """The CCA→CPA reduction argument: the decryption oracle rejects
+        all modified ciphertexts, returning validity only."""
+        assert chosen_ciphertext_oracle_leaks_nothing(trials=25) == 1.0
+
+
+class TestGameHarness:
+    def test_result_arithmetic(self):
+        from repro.security.games import GameResult
+        assert GameResult(100, 50).advantage == 0.0
+        assert GameResult(100, 100).advantage == 1.0
+        assert GameResult(100, 0).advantage == 1.0  # anti-correlated counts
+        assert GameResult(0, 0).accuracy == 0.0

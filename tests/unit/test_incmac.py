@@ -1,0 +1,195 @@
+"""Incremental MACs: correctness, and the SV-A substitution attack."""
+
+import os
+
+import pytest
+
+from repro.core.incmac import (
+    MerkleIncrementalMac,
+    ObservedUpdatePair,
+    XorIncrementalMac,
+    substitution_forgery,
+)
+from repro.errors import IntegrityError
+
+KEY = bytes(range(16))
+
+
+def blocks(n, seed=1):
+    import random
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(8)) for _ in range(n)]
+
+
+class TestXorMac:
+    def test_tag_verify(self):
+        mac = XorIncrementalMac(KEY)
+        message = blocks(10)
+        tag = mac.tag(message)
+        mac.verify(message, tag)
+
+    def test_detects_plain_modification(self):
+        mac = XorIncrementalMac(KEY)
+        message = blocks(10)
+        tag = mac.tag(message)
+        message[3] = bytes(8)
+        with pytest.raises(IntegrityError):
+            mac.verify(message, tag)
+
+    def test_incremental_update_matches_recompute(self):
+        mac = XorIncrementalMac(KEY)
+        message = blocks(10)
+        tag = mac.tag(message)
+        new = os.urandom(8)
+        tag2 = mac.update(tag, 4, message[4], new)
+        message[4] = new
+        assert tag2 == mac.tag(message)
+
+    def test_update_is_order_insensitive(self):
+        mac = XorIncrementalMac(KEY)
+        message = blocks(6)
+        tag = mac.tag(message)
+        a, b = os.urandom(8), os.urandom(8)
+        t1 = mac.update(mac.update(tag, 1, message[1], a),
+                        2, message[2], b)
+        t2 = mac.update(mac.update(tag, 2, message[2], b),
+                        1, message[1], a)
+        assert t1 == t2
+
+    def test_wrong_block_width(self):
+        with pytest.raises(IntegrityError):
+            XorIncrementalMac(KEY).tag([b"short"])
+
+    def test_empty_message(self):
+        mac = XorIncrementalMac(KEY)
+        mac.verify([], mac.tag([]))
+
+
+class TestSubstitutionAttack:
+    """The paper's claim, executed: the XOR scheme falls to a server
+    that merely *watched* one update; the hash tree does not."""
+
+    def _watch_one_update(self):
+        mac = XorIncrementalMac(KEY)
+        message = blocks(8)
+        old_block = message[5]
+        old_tag = mac.tag(message)
+        new_block = os.urandom(8)
+        new_tag = mac.update(old_tag, 5, old_block, new_block)
+        message[5] = new_block
+        observed = ObservedUpdatePair(5, old_block, new_block,
+                                      old_tag, new_tag)
+        return mac, message, new_tag, observed
+
+    def test_forgery_verifies(self):
+        mac, message, tag, observed = self._watch_one_update()
+        forged_blocks, forged_tag = substitution_forgery(
+            message, tag, observed
+        )
+        mac.verify(forged_blocks, forged_tag)  # ACCEPTED: the attack
+        assert forged_blocks != message
+
+    def test_forgery_works_even_after_more_edits_elsewhere(self):
+        mac, message, tag, observed = self._watch_one_update()
+        # The client keeps editing other positions...
+        for index in (0, 2, 7):
+            new = os.urandom(8)
+            tag = mac.update(tag, index, message[index], new)
+            message[index] = new
+        # ...and the stale observation still forges successfully.
+        forged_blocks, forged_tag = substitution_forgery(
+            message, tag, observed
+        )
+        mac.verify(forged_blocks, forged_tag)
+
+    def test_forgery_never_uses_the_key(self):
+        """The attack function receives only wire-visible values."""
+        _, message, tag, observed = self._watch_one_update()
+        forged_blocks, forged_tag = substitution_forgery(
+            message, tag, observed
+        )
+        # Reconstructs under an independent verifier instance.
+        XorIncrementalMac(KEY).verify(forged_blocks, forged_tag)
+
+    def test_same_attack_fails_against_hash_tree(self):
+        """The *mixed-state* forgery (old block 5 + new other blocks —
+        a message that never existed) succeeds against the XOR MAC but
+        not against the tree: tree tag differences are not local XOR
+        terms that commute across unrelated edits."""
+        message = blocks(8)
+        tree = MerkleIncrementalMac(KEY, message)
+        old_block = message[5]
+        old_tag = tree.tag()
+        new_block = os.urandom(8)
+        new_tag = tree.replace(5, new_block)
+        message[5] = new_block
+        term_delta = bytes(a ^ b for a, b in zip(old_tag, new_tag))
+        # the client edits another position afterwards
+        other = os.urandom(8)
+        current_tag = tree.replace(0, other)
+        message[0] = other
+        # attacker applies the XOR trick with the stale observation
+        forged_blocks = list(message)
+        forged_blocks[5] = old_block
+        forged_tag = bytes(
+            a ^ b for a, b in zip(current_tag, term_delta)
+        )
+        with pytest.raises(IntegrityError):
+            MerkleIncrementalMac.verify(KEY, forged_blocks, forged_tag)
+        # ...and there is no tag it could compute: even the honest tag
+        # for the forged message is unreachable without the key.
+        with pytest.raises(IntegrityError):
+            MerkleIncrementalMac.verify(KEY, forged_blocks, current_tag)
+
+
+class TestMerkleMac:
+    def test_tag_verify(self):
+        message = blocks(9)
+        tree = MerkleIncrementalMac(KEY, message)
+        MerkleIncrementalMac.verify(KEY, message, tree.tag())
+
+    def test_replace_matches_rebuild(self):
+        message = blocks(9)
+        tree = MerkleIncrementalMac(KEY, message)
+        new = os.urandom(8)
+        tag = tree.replace(4, new)
+        message[4] = new
+        assert tag == MerkleIncrementalMac(KEY, message).tag()
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 15, 16])
+    def test_all_shapes(self, n):
+        message = blocks(n, seed=n)
+        tree = MerkleIncrementalMac(KEY, message)
+        for index in range(n):
+            new = bytes([index] * 8)
+            tag = tree.replace(index, new)
+            message[index] = new
+        assert tag == MerkleIncrementalMac(KEY, message).tag()
+
+    def test_detects_modification(self):
+        message = blocks(8)
+        tag = MerkleIncrementalMac(KEY, message).tag()
+        message[0] = bytes(8)
+        with pytest.raises(IntegrityError):
+            MerkleIncrementalMac.verify(KEY, message, tag)
+
+    def test_detects_truncation(self):
+        message = blocks(8)
+        tag = MerkleIncrementalMac(KEY, message).tag()
+        with pytest.raises(IntegrityError):
+            MerkleIncrementalMac.verify(KEY, message[:-1], tag)
+
+    def test_position_binding(self):
+        """Swapping two equal-content... rather, two blocks, changes the
+        root (leaves are position-bound)."""
+        message = blocks(8)
+        tag = MerkleIncrementalMac(KEY, message).tag()
+        swapped = list(message)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        with pytest.raises(IntegrityError):
+            MerkleIncrementalMac.verify(KEY, swapped, tag)
+
+    def test_replace_out_of_range(self):
+        tree = MerkleIncrementalMac(KEY, blocks(4))
+        with pytest.raises(IndexError):
+            tree.replace(4, bytes(8))

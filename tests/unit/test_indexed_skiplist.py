@@ -1,0 +1,183 @@
+"""IndexedSkipList unit tests (randomized cross-checks live in
+tests/property)."""
+
+import random
+
+import pytest
+
+from repro.datastructures.indexed_skiplist import IndexedSkipList
+from repro.errors import DataStructureError
+
+
+@pytest.fixture
+def sl():
+    return IndexedSkipList(rng=random.Random(42))
+
+
+def fill(sl, widths):
+    for i, w in enumerate(widths):
+        sl.insert(i, f"b{i}", w)
+
+
+class TestBasics:
+    def test_empty(self, sl):
+        assert len(sl) == 0
+        assert sl.total_chars == 0
+        assert list(sl.items()) == []
+        sl.checkrep()
+
+    def test_single_insert(self, sl):
+        sl.insert(0, "hello", 5)
+        assert len(sl) == 1
+        assert sl.total_chars == 5
+        assert sl.get(0) == ("hello", 5)
+        sl.checkrep()
+
+    def test_insert_order(self, sl):
+        fill(sl, [3, 4, 5])
+        assert [v for v in sl.values()] == ["b0", "b1", "b2"]
+        assert sl.total_chars == 12
+
+    def test_insert_at_front_and_middle(self, sl):
+        fill(sl, [2, 2])
+        sl.insert(0, "front", 1)
+        sl.insert(2, "mid", 1)
+        assert list(sl.values()) == ["front", "b0", "mid", "b1"]
+        sl.checkrep()
+
+    def test_bad_p(self):
+        with pytest.raises(DataStructureError):
+            IndexedSkipList(p=1.0)
+
+    def test_negative_width_rejected(self, sl):
+        with pytest.raises(DataStructureError):
+            sl.insert(0, "x", -1)
+
+
+class TestFindChar:
+    def test_paper_example(self, sl):
+        """Figure 3's document 'abcfghijk' in three blocks."""
+        for i, chunk in enumerate(["abc", "fgh", "ijk"]):
+            sl.insert(i, chunk, len(chunk))
+        assert sl.find_char(0) == (0, 0)
+        assert sl.find_char(2) == (0, 2)
+        assert sl.find_char(3) == (1, 0)
+        assert sl.find_char(8) == (2, 2)
+
+    def test_insertion_like_figure_3(self, sl):
+        """Insert 'xy' at index 3 of 'abcfghijk' → block split at 3."""
+        for i, chunk in enumerate(["abc", "fgh", "ijk"]):
+            sl.insert(i, chunk, len(chunk))
+        rank, offset = sl.find_char(3)
+        assert (rank, offset) == (1, 0)
+        sl.insert(rank, "xy", 2)
+        assert "".join(sl.values()) == "abcxyfghijk"
+        assert sl.find_char(3) == (1, 0)
+        assert sl.find_char(5) == (2, 0)
+        sl.checkrep()
+
+    def test_out_of_range(self, sl):
+        fill(sl, [3])
+        with pytest.raises(IndexError):
+            sl.find_char(3)
+        with pytest.raises(IndexError):
+            sl.find_char(-1)
+
+    def test_empty_list(self, sl):
+        with pytest.raises(IndexError):
+            sl.find_char(0)
+
+
+class TestMutations:
+    def test_delete_returns_value(self, sl):
+        fill(sl, [1, 2, 3])
+        assert sl.delete(1) == ("b1", 2)
+        assert len(sl) == 2
+        assert sl.total_chars == 4
+        sl.checkrep()
+
+    def test_delete_all(self, sl):
+        fill(sl, [1, 2, 3])
+        for _ in range(3):
+            sl.delete(0)
+        assert len(sl) == 0 and sl.total_chars == 0
+        sl.checkrep()
+
+    def test_replace_changes_width(self, sl):
+        fill(sl, [4, 4, 4])
+        sl.replace(1, "new", 7)
+        assert sl.get(1) == ("new", 7)
+        assert sl.total_chars == 15
+        assert sl.find_char(10) == (1, 6)
+        sl.checkrep()
+
+    def test_replace_same_width(self, sl):
+        fill(sl, [4])
+        sl.replace(0, "swap", 4)
+        assert sl.get(0) == ("swap", 4)
+        sl.checkrep()
+
+    def test_char_start(self, sl):
+        fill(sl, [3, 1, 4])
+        assert [sl.char_start(i) for i in range(4)] == [0, 3, 4, 8]
+
+    def test_rank_bounds(self, sl):
+        fill(sl, [1])
+        with pytest.raises(IndexError):
+            sl.get(1)
+        with pytest.raises(IndexError):
+            sl.delete(1)
+        with pytest.raises(IndexError):
+            sl.insert(2, "x", 1)
+
+
+class TestScale:
+    def test_thousand_blocks_logarithmic_shape(self):
+        sl = IndexedSkipList(rng=random.Random(1))
+        for i in range(1000):
+            sl.insert(i, i, 1 + (i % 8))
+        sl.checkrep()
+        assert len(sl) == 1000
+        total = sl.total_chars
+        rank, offset = sl.find_char(total - 1)
+        assert rank == 999
+
+
+class TestExtend:
+    def test_extend_matches_repeated_insert(self):
+        import random as _r
+        a = IndexedSkipList(rng=_r.Random(9))
+        b = IndexedSkipList(rng=_r.Random(9))
+        items = [(f"v{i}", 1 + i % 8) for i in range(200)]
+        for i, (v, w) in enumerate(items):
+            a.insert(i, v, w)
+        b.extend(items)
+        assert list(a.items()) == list(b.items())
+        b.checkrep()
+
+    def test_extend_onto_existing(self):
+        import random as _r
+        sl = IndexedSkipList(rng=_r.Random(10))
+        sl.insert(0, "pre", 3)
+        sl.extend([("a", 2), ("b", 5)])
+        assert list(sl.items()) == [("pre", 3), ("a", 2), ("b", 5)]
+        assert sl.total_chars == 10
+        sl.checkrep()
+
+    def test_extend_empty(self, sl):
+        sl.extend([])
+        assert len(sl) == 0
+        sl.checkrep()
+
+    def test_extend_then_mutate(self):
+        import random as _r
+        sl = IndexedSkipList(rng=_r.Random(11))
+        sl.extend([(i, 2) for i in range(100)])
+        sl.insert(50, "mid", 1)
+        sl.delete(0)
+        sl.replace(10, "swap", 7)
+        sl.checkrep()
+
+    def test_extend_negative_width(self, sl):
+        with pytest.raises(DataStructureError):
+            sl.extend([("x", -1)])

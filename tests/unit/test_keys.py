@@ -1,0 +1,57 @@
+"""Password-based key derivation."""
+
+import pytest
+
+from repro.core.keys import KEY_BYTES, SALT_BYTES, KeyMaterial
+from repro.crypto.random import DeterministicRandomSource
+from repro.errors import PasswordError
+
+
+class TestKeyMaterial:
+    def test_deterministic_given_salt(self):
+        a = KeyMaterial.from_password("pw", salt=b"0123456789")
+        b = KeyMaterial.from_password("pw", salt=b"0123456789")
+        assert a.key == b.key
+
+    def test_salt_changes_key(self):
+        a = KeyMaterial.from_password("pw", salt=b"0123456789")
+        b = KeyMaterial.from_password("pw", salt=b"9876543210")
+        assert a.key != b.key
+
+    def test_password_changes_key(self):
+        salt = b"0123456789"
+        assert (
+            KeyMaterial.from_password("pw1", salt=salt).key
+            != KeyMaterial.from_password("pw2", salt=salt).key
+        )
+
+    def test_fresh_salt_from_rng(self):
+        rng = DeterministicRandomSource(1)
+        km = KeyMaterial.from_password("pw", rng=rng)
+        assert len(km.salt) == SALT_BYTES
+        assert len(km.key) == KEY_BYTES
+
+    def test_two_fresh_salts_differ(self):
+        rng = DeterministicRandomSource(1)
+        a = KeyMaterial.from_password("pw", rng=rng)
+        b = KeyMaterial.from_password("pw", rng=rng)
+        assert a.salt != b.salt and a.key != b.key
+
+    def test_empty_password_rejected(self):
+        with pytest.raises(PasswordError):
+            KeyMaterial.from_password("", salt=b"0123456789")
+
+    def test_iterations_matter(self):
+        salt = b"0123456789"
+        a = KeyMaterial.from_password("pw", salt=salt, iterations=1000)
+        b = KeyMaterial.from_password("pw", salt=salt, iterations=2000)
+        assert a.key != b.key
+
+    def test_check(self):
+        km = KeyMaterial.from_password("pw", salt=b"0123456789")
+        assert km.check(km.key)
+        assert not km.check(bytes(KEY_BYTES))
+
+    def test_unicode_password(self):
+        km = KeyMaterial.from_password("contraseña-中文", salt=b"0123456789")
+        assert len(km.key) == KEY_BYTES

@@ -1,0 +1,111 @@
+"""Operational transformation: unit cases for transform and compose."""
+
+import pytest
+
+from repro.core.delta import Delete, Delta, Insert, Retain
+from repro.core.ot import compose, transform
+
+
+def T(a_text, b_text, priority="left"):
+    return transform(Delta.parse(a_text), Delta.parse(b_text), priority)
+
+
+class TestTransformCases:
+    def test_disjoint_inserts(self):
+        # a inserts at 0, b inserts at 5 of "abcdefgh"
+        a = Delta.insertion(0, "X")
+        b = Delta.insertion(5, "Y")
+        a2 = transform(a, b, "left")
+        b2 = transform(b, a, "right")
+        doc = "abcdefgh"
+        assert b2.apply(a.apply(doc)) == a2.apply(b.apply(doc)) == "XabcdeYfgh"
+
+    def test_same_position_insert_priority(self):
+        a = Delta.insertion(2, "A")
+        b = Delta.insertion(2, "B")
+        doc = "xxxx"
+        left_first = transform(b, a, "right").apply(a.apply(doc))
+        assert left_first == "xxABxx"
+        other = transform(a, b, "left").apply(b.apply(doc))
+        assert other == "xxABxx"
+
+    def test_delete_vs_delete_overlap(self):
+        a = Delta.deletion(1, 3)   # delete [1,4)
+        b = Delta.deletion(2, 3)   # delete [2,5)
+        doc = "abcdefg"
+        merged_a = transform(a, b, "left").apply(b.apply(doc))
+        merged_b = transform(b, a, "right").apply(a.apply(doc))
+        assert merged_a == merged_b == "afg"
+
+    def test_insert_inside_deleted_region(self):
+        a = Delta.insertion(3, "NEW")  # insert inside what b deletes
+        b = Delta.deletion(1, 5)
+        doc = "abcdefgh"
+        out = transform(a, b, "left").apply(b.apply(doc))
+        out2 = transform(b, a, "right").apply(a.apply(doc))
+        assert out == out2
+        assert "NEW" in out  # the insertion survives the deletion
+
+    def test_identity_against_anything(self):
+        b = Delta.parse("=2\t-3\t+uv")
+        assert transform(Delta(()), b, "left") == Delta(())
+
+    def test_against_identity_is_canonicalish(self):
+        a = Delta.parse("=2\t+xy\t-1")
+        out = transform(a, Delta(()), "left")
+        assert out.apply("abcdef") == a.apply("abcdef")
+
+    def test_bad_priority(self):
+        with pytest.raises(ValueError):
+            transform(Delta(()), Delta(()), "middle")
+
+    def test_paper_example_merged_with_append(self):
+        doc = "abcdefg"
+        a = Delta.parse("=2\t-3\t+uv\t=2\t+w")  # -> abuvfgw
+        b = Delta.insertion(7, "!")             # -> abcdefg!
+        one = transform(a, b, "left").apply(b.apply(doc))
+        two = transform(b, a, "right").apply(a.apply(doc))
+        assert one == two
+        assert one.startswith("abuvfg")
+        assert "!" in one and "w" in one
+
+
+class TestComposeCases:
+    def test_sequential_inserts(self):
+        first = Delta.insertion(0, "AB")
+        second = Delta.insertion(1, "x")
+        doc = "zz"
+        assert compose(first, second).apply(doc) == \
+            second.apply(first.apply(doc)) == "AxBzz"
+
+    def test_insert_then_delete_it(self):
+        first = Delta.insertion(2, "JUNK")
+        second = Delta.deletion(2, 4)
+        composed = compose(first, second)
+        assert composed.apply("abcd") == "abcd"
+        assert composed.canonical().is_identity or composed.apply("abcd") == "abcd"
+
+    def test_delete_then_insert(self):
+        first = Delta.deletion(0, 2)
+        second = Delta.insertion(0, "XY")
+        assert compose(first, second).apply("abcd") == "XYcd"
+
+    def test_compose_with_identity(self):
+        delta = Delta.parse("=1\t+q\t-2")
+        doc = "abcdef"
+        assert compose(delta, Delta(())).apply(doc) == delta.apply(doc)
+        assert compose(Delta(()), delta).apply(doc) == delta.apply(doc)
+
+    def test_three_way_fold(self):
+        doc = "the quick brown fox"
+        deltas = [
+            Delta.insertion(0, ">> "),
+            Delta.deletion(7, 6),
+            Delta.replacement(3, 3, "slow"),
+        ]
+        want = doc
+        folded = Delta(())
+        for delta in deltas:
+            want = delta.apply(want)
+            folded = compose(folded, delta)
+        assert folded.apply(doc) == want

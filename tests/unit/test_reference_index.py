@@ -1,0 +1,38 @@
+"""ReferenceIndex: the oracle itself deserves a sanity pass."""
+
+import pytest
+
+from repro.datastructures.reference import ReferenceIndex
+
+
+class TestReferenceIndex:
+    def test_full_surface(self):
+        ref = ReferenceIndex()
+        ref.insert(0, "a", 2)
+        ref.insert(1, "b", 3)
+        ref.insert(1, "c", 1)
+        assert list(ref.values()) == ["a", "c", "b"]
+        assert ref.total_chars == 6
+        assert ref.find_char(0) == (0, 0)
+        assert ref.find_char(2) == (1, 0)
+        assert ref.find_char(3) == (2, 0)
+        assert ref.char_start(2) == 3
+        assert ref.char_start(3) == 6
+        ref.replace(1, "C", 4)
+        assert ref.get(1) == ("C", 4)
+        assert ref.delete(0) == ("a", 2)
+        assert len(ref) == 2
+        ref.checkrep()
+
+    def test_bounds(self):
+        ref = ReferenceIndex()
+        with pytest.raises(IndexError):
+            ref.find_char(0)
+        with pytest.raises(IndexError):
+            ref.get(0)
+        with pytest.raises(IndexError):
+            ref.delete(0)
+        with pytest.raises(IndexError):
+            ref.insert(1, "x", 1)
+        with pytest.raises(IndexError):
+            ref.char_start(1)

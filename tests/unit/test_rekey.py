@@ -1,0 +1,78 @@
+"""Key rotation: rekey() replaces everything under a new password."""
+
+import pytest
+
+from repro.core import KeyMaterial, create_document, load_document
+from repro.crypto.random import DeterministicRandomSource
+from repro.errors import DecryptionError, ReproError
+
+
+@pytest.fixture(params=["recb", "rpc"])
+def doc(request, nonce_rng):
+    return create_document(
+        "rotate my key please",
+        password="old password",
+        scheme=request.param,
+        rng=nonce_rng,
+    )
+
+
+class TestRekey:
+    def test_new_password_opens(self, doc):
+        doc.rekey(password="new password")
+        reloaded = load_document(doc.wire(), password="new password")
+        assert reloaded.text == "rotate my key please"
+
+    def test_old_password_fails(self, doc):
+        doc.rekey(password="new password")
+        with pytest.raises(ReproError):
+            load_document(doc.wire(), password="old password")
+
+    def test_cdelta_tracks_server(self, doc):
+        server = doc.wire()
+        cdelta = doc.rekey(password="new password")
+        server = cdelta.apply(server)
+        assert server == doc.wire()
+
+    def test_salt_changes(self, doc):
+        old_salt = doc.key_material.salt
+        doc.rekey(password="new password")
+        assert doc.key_material.salt != old_salt
+
+    def test_ciphertext_fully_changes(self, doc):
+        from repro.encoding.wire import RECORD_CHARS, split_header
+        _, before = split_header(doc.wire())
+        doc.rekey(password="new password")
+        _, after = split_header(doc.wire())
+        before_records = {
+            before[i:i + RECORD_CHARS]
+            for i in range(0, len(before), RECORD_CHARS)
+        }
+        after_records = {
+            after[i:i + RECORD_CHARS]
+            for i in range(0, len(after), RECORD_CHARS)
+        }
+        assert not before_records & after_records
+
+    def test_editing_continues_after_rekey(self, doc):
+        server = doc.wire()
+        server = doc.rekey(password="new password").apply(server)
+        server = doc.insert(0, "fresh: ").apply(server)
+        assert server == doc.wire()
+        assert load_document(server, password="new password").text \
+            == "fresh: rotate my key please"
+
+    def test_rekey_with_key_material(self, doc, nonce_rng):
+        keys = KeyMaterial.from_password("alt", rng=nonce_rng)
+        doc.rekey(key_material=keys)
+        assert load_document(doc.wire(), key_material=keys).text \
+            == "rotate my key please"
+
+    def test_rpc_version_continues(self, nonce_rng):
+        from repro.core.document import RpcDocument
+        doc = RpcDocument.create("v", password="old", rng=nonce_rng)
+        doc.insert(0, "a")
+        doc.insert(0, "b")
+        assert doc.version == 2
+        doc.rekey(password="new")
+        assert doc.version == 3  # monotonic across rotation

@@ -1,0 +1,118 @@
+"""ReplicatedService internals: quorum arithmetic, routing, health."""
+
+import pytest
+
+from repro.net.http import HttpRequest
+from repro.services.gdocs import protocol
+from repro.services.gdocs.server import GDocsServer
+from repro.services.replicated import FlakyServer, ReplicatedService
+
+
+def service(n=3, **kw):
+    backends = [FlakyServer(GDocsServer()) for _ in range(n)]
+    return ReplicatedService(backends, **kw), backends
+
+
+def open_doc(svc, doc_id="doc"):
+    response = svc(protocol.open_request(doc_id))
+    fields = response.form
+    return fields[protocol.F_SID], int(fields[protocol.A_REV])
+
+
+class TestQuorum:
+    def test_default_quorum_is_majority(self):
+        assert ReplicatedService([GDocsServer()]).quorum == 1
+        assert ReplicatedService([GDocsServer()] * 3).quorum == 2
+        assert ReplicatedService([GDocsServer()] * 5).quorum == 3
+
+    def test_custom_quorum(self):
+        svc = ReplicatedService([GDocsServer()] * 3, quorum=3)
+        assert svc.quorum == 3
+
+    def test_no_backends_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedService([])
+
+    def test_open_fails_below_quorum(self):
+        svc, backends = service(3)
+        backends[0].outage(5)
+        backends[1].outage(5)
+        response = svc(protocol.open_request("doc"))
+        assert response.status == 503
+
+    def test_write_fails_below_quorum(self):
+        svc, backends = service(3)
+        sid, rev = open_doc(svc)
+        svc(protocol.full_save_request("doc", sid, rev, "content"))
+        backends[0].outage(5)
+        backends[1].outage(5)
+        response = svc(protocol.delta_save_request("doc", sid, 1, "+x"))
+        assert response.status == 503
+
+    def test_strict_quorum_all(self):
+        svc, backends = service(3, quorum=3)
+        sid, rev = open_doc(svc)
+        backends[2].outage(1)
+        response = svc(protocol.full_save_request("doc", sid, rev, "x"))
+        assert response.status == 503
+
+
+class TestSidRewriting:
+    def test_logical_sid_masks_backend_sids(self):
+        svc, backends = service(3)
+        sid, _ = open_doc(svc)
+        assert sid.startswith("rep:")
+        # backends each issued their own sids
+        backend_sids = {
+            slot.doc("doc").sid for slot in svc._slots
+        }
+        assert sid not in backend_sids
+
+    def test_per_backend_rev_tracking_after_heal(self):
+        svc, backends = service(3)
+        sid, rev = open_doc(svc)
+        svc(protocol.full_save_request("doc", sid, rev, "v1"))
+        backends[2].outage(1)
+        svc(protocol.delta_save_request("doc", sid, 1, "+a"))
+        # backend 2 degraded; others advanced
+        svc(protocol.delta_save_request("doc", sid, 2, "+b"))  # heals 2
+        revs = [slot.doc("doc").rev for slot in svc._slots]
+        contents = [b._backend.store.get("doc").content for b in backends]
+        assert len(set(contents)) == 1
+        # the healed backend's private rev may differ; the content is
+        # what matters, and subsequent writes keep succeeding:
+        response = svc(protocol.delta_save_request("doc", sid, int(
+            response_rev := svc._slots[0].doc("doc").rev
+        ), "+c"))
+        assert response.ok
+
+
+class TestReads:
+    def test_read_prefers_majority(self):
+        svc, backends = service(3)
+        sid, rev = open_doc(svc)
+        svc(protocol.full_save_request("doc", sid, rev, "agreed"))
+        backends[1]._backend.store.get("doc").content = "rogue"
+        response = svc(protocol.fetch_request("doc"))
+        assert response.body == "agreed"
+        assert svc.divergences
+
+    def test_read_all_down(self):
+        svc, backends = service(2)
+        open_doc(svc)
+        for b in backends:
+            b.outage(5)
+        response = svc(protocol.fetch_request("doc"))
+        assert response.status == 503
+
+
+class TestFlakyServer:
+    def test_outage_counts_requests(self):
+        flaky = FlakyServer(GDocsServer())
+        flaky.outage(2)
+        r1 = flaky(protocol.open_request("d"))
+        r2 = flaky(protocol.open_request("d"))
+        r3 = flaky(protocol.open_request("d"))
+        assert r1.status == r2.status == 503
+        assert r3.ok
+        assert flaky.requests_refused == 2

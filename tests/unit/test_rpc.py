@@ -1,0 +1,144 @@
+"""RPC codec: chain construction, verification, and every detection
+branch."""
+
+import pytest
+
+from repro.core.nonces import RPC_NONCE_BYTES
+from repro.core.rpc import ALPHA, RpcCodec, RpcState
+from repro.crypto.random import DeterministicRandomSource
+from repro.encoding.wire import Record
+from repro.errors import (
+    CiphertextFormatError,
+    DecryptionError,
+    IntegrityError,
+)
+
+KEY = bytes(range(16))
+
+
+@pytest.fixture
+def codec():
+    return RpcCodec(KEY, DeterministicRandomSource(11))
+
+
+def build(codec, chunks):
+    """Assemble a full record list for ``chunks``."""
+    state = codec.fresh_state()
+    first_lead = codec._rng.token(RPC_NONCE_BYTES)
+    if chunks:
+        triples = codec.encrypt_span(state, chunks, first_lead, state.r0)
+        for record, lead, payload in triples:
+            state.add_block(lead, payload, record.char_count)
+        records = [r for r, _, _ in triples]
+        prefix = codec.prefix(state, first_lead)
+    else:
+        records = []
+        prefix = codec.prefix(state, None)
+    return state, prefix + records + codec.suffix(state)
+
+
+class TestHappyPath:
+    def test_round_trip(self, codec):
+        _, records = build(codec, ["attack a", "t dawn"])
+        state, data = codec.load(records)
+        assert "".join(chunk for chunk, _, _ in data) == "attack at dawn"
+        assert state.length == 14
+
+    def test_empty_document(self, codec):
+        _, records = build(codec, [])
+        state, data = codec.load(records)
+        assert data == [] and state.length == 0
+
+    def test_single_block(self, codec):
+        _, records = build(codec, ["x"])
+        _, data = codec.load(records)
+        assert data[0][0] == "x"
+
+    def test_alpha_is_payload_width(self):
+        assert len(ALPHA) == 8
+
+    def test_randomization(self, codec):
+        state = codec.fresh_state()
+        lead = codec._rng.token(RPC_NONCE_BYTES)
+        triples = codec.encrypt_span(state, ["same"] * 8, lead, state.r0)
+        assert len({r.block for r, _, _ in triples}) == 8
+
+
+class TestDetection:
+    def test_wrong_key(self, codec):
+        _, records = build(codec, ["secret!!"])
+        other = RpcCodec(bytes(16), DeterministicRandomSource(1))
+        with pytest.raises(DecryptionError):
+            other.load(records)
+
+    def test_replication(self, codec):
+        _, records = build(codec, ["aaaa", "bbbb", "cccc"])
+        doctored = records[:2] + [records[1]] + records[2:]
+        with pytest.raises(IntegrityError):
+            codec.load(doctored)
+
+    def test_reorder(self, codec):
+        _, records = build(codec, ["aaaa", "bbbb", "cccc"])
+        doctored = list(records)
+        doctored[1], doctored[2] = doctored[2], doctored[1]
+        with pytest.raises(IntegrityError):
+            codec.load(doctored)
+
+    def test_drop_interior_block(self, codec):
+        _, records = build(codec, ["aaaa", "bbbb", "cccc"])
+        with pytest.raises(IntegrityError):
+            codec.load(records[:2] + records[3:])
+
+    def test_drop_tail_block(self, codec):
+        _, records = build(codec, ["aaaa", "bbbb", "cccc"])
+        with pytest.raises(IntegrityError):
+            codec.load(records[:3] + records[4:])
+
+    def test_stale_checksum(self, codec):
+        """Splice an old checksum onto new data (rollback of the
+        bookkeeping only)."""
+        state1, records1 = build(codec, ["version1"])
+        _, records2 = build(codec, ["version2"])
+        doctored = records1[:-1] + [records2[-1]]
+        with pytest.raises((IntegrityError, DecryptionError)):
+            codec.load(doctored)
+
+    def test_char_count_header_lie(self, codec):
+        _, records = build(codec, ["abcd"])
+        lying = Record(char_count=2, block=records[1].block)
+        with pytest.raises(IntegrityError):
+            codec.load([records[0], lying, records[2]])
+
+    def test_cross_document_splice(self, codec):
+        _, a = build(codec, ["doc a   ", "tail a  "])
+        _, b = build(codec, ["doc b   ", "tail b  "])
+        with pytest.raises((IntegrityError, DecryptionError)):
+            codec.load([a[0], a[1], b[2], b[3]])
+
+    def test_too_few_records(self, codec):
+        with pytest.raises(CiphertextFormatError):
+            codec.load([])
+
+    def test_empty_span_rejected(self, codec):
+        state = codec.fresh_state()
+        with pytest.raises(CiphertextFormatError):
+            codec.encrypt_span(state, [], b"\x00" * 4, b"\x00" * 4)
+
+
+class TestAggregates:
+    def test_add_remove_inverse(self):
+        state = RpcState(r0=b"\x01\x02\x03\x04")
+        before = (state.lead_xor, state.payload_xor, state.length)
+        state.add_block(b"\xaa\xbb\xcc\xdd", b"payload!", 8)
+        state.remove_block(b"\xaa\xbb\xcc\xdd", b"payload!", 8)
+        assert (state.lead_xor, state.payload_xor, state.length) == before
+
+    def test_order_independent(self):
+        a = RpcState(r0=bytes(4))
+        b = RpcState(r0=bytes(4))
+        blocks_ = [(bytes([i] * 4), bytes([i] * 8), i) for i in range(1, 5)]
+        for blk in blocks_:
+            a.add_block(*blk)
+        for blk in reversed(blocks_):
+            b.add_block(*blk)
+        assert a == b

@@ -1,0 +1,61 @@
+"""The scheme registry: dispatch, errors, and extensibility."""
+
+import pytest
+
+from repro.core import create_document, known_schemes, load_document
+from repro.core.scheme import register_scheme, scheme_factory
+from repro.errors import CiphertextFormatError
+
+
+class TestRegistry:
+    def test_builtin_schemes_registered(self):
+        assert set(known_schemes()) >= {"recb", "rpc"}
+
+    def test_factory_dispatch(self):
+        from repro.core.document import RecbDocument, RpcDocument
+        assert scheme_factory("recb") is RecbDocument
+        assert scheme_factory("rpc") is RpcDocument
+
+    def test_unknown_scheme(self):
+        with pytest.raises(CiphertextFormatError):
+            scheme_factory("rot13")
+
+    def test_create_document_rejects_unknown(self, keys, nonce_rng):
+        with pytest.raises(CiphertextFormatError):
+            create_document("x", key_material=keys, scheme="rot13",
+                            rng=nonce_rng)
+
+    def test_load_dispatches_on_header(self, keys, nonce_rng):
+        for scheme in ("recb", "rpc"):
+            doc = create_document("dispatch me", key_material=keys,
+                                  scheme=scheme, rng=nonce_rng)
+            loaded = load_document(doc.wire(), key_material=keys)
+            assert loaded.scheme == scheme
+
+    def test_load_rejects_unregistered_header_scheme(self, keys):
+        bogus = "PE1-ROT13-8-64-AAAAAAAAAAAAAAAA."
+        with pytest.raises(CiphertextFormatError):
+            load_document(bogus, key_material=keys)
+
+    def test_custom_scheme_registration(self, keys, nonce_rng):
+        """Downstream users can register their own document class."""
+        from repro.core.document import RecbDocument
+
+        class ShoutingDocument(RecbDocument):
+            """rECB, but the decrypted text comes back upper-cased."""
+
+            @property
+            def text(self) -> str:
+                """The plaintext, loudly."""
+                return super().text.upper()
+
+        register_scheme("shout", ShoutingDocument)
+        try:
+            assert "shout" in known_schemes()
+            doc = scheme_factory("shout").create(
+                "quiet words", key_material=keys, rng=nonce_rng
+            )
+            assert doc.text == "QUIET WORDS"
+        finally:
+            from repro.core import scheme as scheme_module
+            scheme_module._REGISTRY.pop("shout", None)

@@ -1,0 +1,156 @@
+"""Steganographic ciphertext encoding (the SVI-A extension)."""
+
+import pytest
+
+from repro.core import KeyMaterial, create_document, load_document
+from repro.core.delta import Delta
+from repro.crypto.random import DeterministicRandomSource
+from repro.encoding.stego import (
+    STEGO_RECORD_CHARS,
+    WORD_CHARS,
+    WORDS,
+    WORDS_PER_RECORD,
+    looks_stego,
+    stego_header_length,
+    stego_rewrite_cdelta,
+    stego_unwrap,
+    stego_wrap,
+)
+from repro.errors import CiphertextFormatError
+from repro.security.analysis import ENCRYPTION_THRESHOLD, encryption_score
+
+KEYS = KeyMaterial.from_password("pw", salt=b"stego-salt")
+
+
+def make_doc(text="the censored truth", scheme="rpc", b=8):
+    return create_document(text, key_material=KEYS, scheme=scheme,
+                           block_chars=b, rng=DeterministicRandomSource(3))
+
+
+class TestWordList:
+    def test_1024_distinct_words(self):
+        assert len(WORDS) == 1024
+        assert len(set(WORDS)) == 1024
+
+    def test_all_five_letters_lowercase(self):
+        assert all(len(w) == 5 and w.isalpha() and w.islower()
+                   for w in WORDS)
+
+    def test_record_geometry(self):
+        assert WORDS_PER_RECORD == 14  # 136 bits / 10 rounded up
+        assert STEGO_RECORD_CHARS == 14 * WORD_CHARS == 84
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("scheme", ["recb", "rpc"])
+    @pytest.mark.parametrize("text", ["", "x", "the censored truth é中"])
+    def test_wrap_unwrap(self, scheme, text):
+        wire = make_doc(text, scheme).wire()
+        assert stego_unwrap(stego_wrap(wire)) == wire
+
+    def test_unwrapped_document_decrypts(self):
+        doc = make_doc()
+        stego = stego_wrap(doc.wire())
+        reloaded = load_document(stego_unwrap(stego), key_material=KEYS)
+        assert reloaded.text == doc.text
+
+    def test_looks_stego(self):
+        stego = stego_wrap(make_doc().wire())
+        assert looks_stego(stego)
+        assert not looks_stego(make_doc().wire())
+        assert not looks_stego("ordinary English prose here")
+        assert not looks_stego("")
+
+    def test_header_length_accounts_prefix(self):
+        doc = make_doc()
+        stego = stego_wrap(doc.wire())
+        data_records = (
+            len(stego) - stego_header_length(doc.wire())
+        ) / STEGO_RECORD_CHARS
+        # start + data blocks + checksum
+        assert data_records == doc.block_count + 2
+
+
+class TestIncrementalUnderStego:
+    def test_cdelta_rewrite_tracks_server(self):
+        doc = make_doc("a document long enough to span several blocks")
+        header_chars = doc._header.wire_length
+        server = stego_wrap(doc.wire())
+        for delta in [Delta.insertion(5, "NEW"), Delta.deletion(0, 9),
+                      Delta.replacement(10, 4, "swap!")]:
+            cdelta = doc.apply_delta(delta)
+            server = stego_rewrite_cdelta(cdelta, header_chars).apply(server)
+            assert server == stego_wrap(doc.wire())
+        assert load_document(stego_unwrap(server),
+                             key_material=KEYS).text == doc.text
+
+    def test_recb_also_works(self):
+        doc = make_doc("recb under stego", scheme="recb", b=4)
+        header_chars = doc._header.wire_length
+        server = stego_wrap(doc.wire())
+        cdelta = doc.insert(4, "xyz")
+        server = stego_rewrite_cdelta(cdelta, header_chars).apply(server)
+        assert server == stego_wrap(doc.wire())
+
+
+class TestStrictness:
+    def test_rejects_unknown_word(self):
+        stego = stego_wrap(make_doc().wire())
+        broken = "qqqqq " + stego[WORD_CHARS:]
+        with pytest.raises(CiphertextFormatError):
+            stego_unwrap(broken)
+
+    def test_rejects_misaligned_text(self):
+        stego = stego_wrap(make_doc().wire())
+        with pytest.raises(CiphertextFormatError):
+            stego_unwrap(stego[1:])
+
+    def test_rejects_truncated_records(self):
+        stego = stego_wrap(make_doc().wire())
+        with pytest.raises(CiphertextFormatError):
+            stego_unwrap(stego[:-WORD_CHARS])
+
+
+class TestDetectorEvasion:
+    def test_wire_scores_high(self):
+        assert encryption_score(make_doc().wire()) > ENCRYPTION_THRESHOLD
+
+    def test_stego_scores_low(self):
+        stego = stego_wrap(make_doc("x" * 500).wire())
+        assert encryption_score(stego) < ENCRYPTION_THRESHOLD
+
+    def test_prose_scores_low(self):
+        from repro.workloads.documents import small_document
+        assert encryption_score(small_document(1)) < ENCRYPTION_THRESHOLD
+
+    def test_base32_wall_scores_high(self):
+        assert encryption_score("A2B3C4D5E6F7" * 50) > ENCRYPTION_THRESHOLD
+
+    def test_empty_scores_zero(self):
+        assert encryption_score("") == 0.0
+
+
+class TestStegoRewritePaths:
+    def test_delete_everything_under_stego(self):
+        """The full-rewrite cdelta (empty-document transition) is
+        header-retaining and record-aligned, so it stego-rewrites too."""
+        doc = make_doc("short doc", scheme="rpc")
+        header_chars = doc._header.wire_length
+        server = stego_wrap(doc.wire())
+        cdelta = doc.delete(0, doc.char_length)
+        server = stego_rewrite_cdelta(cdelta, header_chars).apply(server)
+        assert server == stego_wrap(doc.wire())
+        cdelta = doc.insert(0, "reborn")
+        server = stego_rewrite_cdelta(cdelta, header_chars).apply(server)
+        assert server == stego_wrap(doc.wire())
+        assert load_document(stego_unwrap(server),
+                             key_material=KEYS).text == "reborn"
+
+    def test_header_splitting_cdelta_rejected(self):
+        """A cdelta that would cut through the header (e.g. a rekey)
+        cannot be stego-rewritten and must fail loudly."""
+        from repro.core.delta import Delete as D, Delta as Dl, Insert as I
+        doc = make_doc()
+        bad = Dl([D(5), I("XXXXX")])  # touches the header region
+        with pytest.raises(CiphertextFormatError):
+            stego_rewrite_cdelta(bad, doc._header.wire_length)

@@ -1,0 +1,59 @@
+"""EncryptionEngine: the encrypt/decrypt/transform_delta facade."""
+
+import pytest
+
+from repro.core.transform import EncryptionEngine
+from repro.crypto.random import DeterministicRandomSource
+from repro.encoding.wire import looks_encrypted
+from repro.errors import TransformError
+
+
+@pytest.fixture
+def engine():
+    return EncryptionEngine("pw", scheme="rpc", block_chars=8,
+                            rng=DeterministicRandomSource(3))
+
+
+class TestEngine:
+    def test_encrypt_produces_wire(self, engine):
+        wire = engine.encrypt("my plaintext")
+        assert looks_encrypted(wire)
+        assert "plaintext" not in wire
+
+    def test_decrypt_inverts(self, engine):
+        wire = engine.encrypt("round trip me")
+        other = EncryptionEngine("pw")
+        assert other.decrypt(wire) == "round trip me"
+        assert other.scheme == "rpc"
+
+    def test_transform_delta_tracks_server(self, engine):
+        from repro.core.delta import Delta
+        server = engine.encrypt("hello world")
+        cdelta = engine.transform_delta("=5\t+, dear")
+        server = Delta.parse(cdelta).apply(server)
+        assert server == engine.mirror.wire()
+        assert engine.mirror.text == "hello, dear world"
+
+    def test_decrypt_adopts_mirror_for_transforms(self, engine):
+        from repro.core.delta import Delta
+        server = engine.encrypt("adopt me")
+        other = EncryptionEngine("pw")
+        other.decrypt(server)
+        cdelta = other.transform_delta("+x ")
+        assert Delta.parse(cdelta).apply(server) == other.mirror.wire()
+        assert other.mirror.text == "x adopt me"
+
+    def test_transform_before_state_fails(self, engine):
+        with pytest.raises(TransformError):
+            engine.transform_delta("=1")
+
+    def test_reencrypt_reuses_salt(self, engine):
+        wire1 = engine.encrypt("v1")
+        wire2 = engine.encrypt("v2 is different")
+        # same header prefix (same salt/scheme/params)
+        head1 = wire1.split(".")[0]
+        head2 = wire2.split(".")[0]
+        assert head1 == head2
+
+    def test_mirror_none_initially(self):
+        assert EncryptionEngine("pw").mirror is None

@@ -1,0 +1,110 @@
+"""Unicode hardening: multi-byte characters across every layer.
+
+Block packing counts characters but stores UTF-8 bytes, so non-ASCII
+text stresses the capacity logic everywhere — packing, chunking,
+incremental splits, deltas, stego, and the full stack.
+"""
+
+import pytest
+
+from repro.core import Delta, create_document, load_document
+from repro.crypto.random import DeterministicRandomSource
+
+SAMPLES = [
+    "naïve café résumé",                      # 2-byte chars
+    "日本語のテキストです",                     # 3-byte chars
+    "🎉🚀🌍🔐📜",                              # 4-byte chars (astral)
+    "mixed: aé中🎉z aé中🎉z",                   # everything at once
+    "źälgo text",                  # combining marks
+]
+
+
+@pytest.fixture(params=["recb", "rpc"])
+def scheme(request):
+    return request.param
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("text", SAMPLES)
+    @pytest.mark.parametrize("b", [1, 3, 8])
+    def test_create_load(self, keys, nonce_rng, scheme, text, b):
+        doc = create_document(text, key_material=keys, scheme=scheme,
+                              block_chars=b, rng=nonce_rng)
+        assert doc.text == text
+        assert load_document(doc.wire(), key_material=keys).text == text
+
+    @pytest.mark.parametrize("text", SAMPLES)
+    def test_char_length_is_code_points(self, keys, nonce_rng, scheme,
+                                        text):
+        doc = create_document(text, key_material=keys, scheme=scheme,
+                              rng=nonce_rng)
+        assert doc.char_length == len(text)
+
+
+class TestIncrementalEdits:
+    def test_insert_emoji_mid_ascii(self, keys, nonce_rng, scheme):
+        doc = create_document("hello world", key_material=keys,
+                              scheme=scheme, rng=nonce_rng)
+        server = doc.wire()
+        server = doc.insert(5, " 🎉🎉 ").apply(server)
+        assert server == doc.wire()
+        assert doc.text == "hello 🎉🎉  world"
+        assert load_document(server, key_material=keys).text == doc.text
+
+    def test_delete_across_emoji_blocks(self, keys, nonce_rng, scheme):
+        text = "abc🎉🎉🎉def"
+        doc = create_document(text, key_material=keys, scheme=scheme,
+                              block_chars=2, rng=nonce_rng)
+        server = doc.wire()
+        server = doc.delete(2, 5).apply(server)
+        assert doc.text == "abef"
+        assert server == doc.wire()
+
+    def test_splitting_wide_char_block(self, keys, nonce_rng, scheme):
+        """Inserting into a block already at its byte capacity forces a
+        re-chunk that must respect both limits."""
+        text = "中中"  # 6 bytes, 2 chars, fits one b=8 block
+        doc = create_document(text, key_material=keys, scheme=scheme,
+                              block_chars=8, rng=nonce_rng)
+        server = doc.wire()
+        server = doc.insert(1, "中中中").apply(server)  # now 15 bytes
+        assert doc.text == "中中中中中"
+        assert server == doc.wire()
+        assert load_document(server, key_material=keys).text == doc.text
+
+    def test_delta_with_unicode_payload(self, keys, nonce_rng, scheme):
+        doc = create_document("ascii base", key_material=keys,
+                              scheme=scheme, rng=nonce_rng)
+        delta = Delta.parse(Delta.insertion(5, " déjà-vu 中").serialize())
+        server = doc.wire()
+        server = doc.apply_delta(delta).apply(server)
+        assert "déjà-vu 中" in doc.text
+        assert server == doc.wire()
+
+
+class TestStegoUnicode:
+    @pytest.mark.parametrize("text", SAMPLES)
+    def test_stego_round_trip(self, keys, nonce_rng, text):
+        from repro.encoding.stego import stego_unwrap, stego_wrap
+        doc = create_document(text, key_material=keys, scheme="rpc",
+                              rng=nonce_rng)
+        assert stego_unwrap(stego_wrap(doc.wire())) == doc.wire()
+
+
+class TestFullStackUnicode:
+    def test_session_with_unicode(self):
+        from repro.extension import PrivateEditingSession
+        session = PrivateEditingSession(
+            "doc", "contraseña-中文-🔐",
+            rng=DeterministicRandomSource(1),
+        )
+        session.open()
+        session.type_text(0, "меморандум: 機密 🤫")
+        session.save()
+        session.type_text(0, "✅ ")
+        session.save()
+        reader = PrivateEditingSession(
+            "doc", "contraseña-中文-🔐", server=session.server,
+            rng=DeterministicRandomSource(2),
+        )
+        assert reader.open() == "✅ меморандум: 機密 🤫"

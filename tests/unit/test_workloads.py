@@ -1,0 +1,149 @@
+"""Workload generators: text, documents, edit scripts, traces."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    CATEGORIES,
+    EditingTrace,
+    document_of_length,
+    edit_stream,
+    large_document,
+    make_text,
+    make_trace,
+    micro_pairs,
+    random_sentence,
+    sentence_delete,
+    sentence_insert,
+    sentence_replace,
+    small_document,
+    split_sentences,
+    typing_burst,
+)
+
+
+class TestText:
+    def test_exact_length(self):
+        for n in (0, 1, 57, 500, 4000):
+            assert len(make_text(n, random.Random(1))) == n
+
+    def test_deterministic(self):
+        assert make_text(300, random.Random(5)) == make_text(300, random.Random(5))
+
+    def test_sentences_have_structure(self):
+        sentence = random_sentence(random.Random(2))
+        assert sentence[0].isupper() and sentence.endswith(".")
+
+    def test_split_sentences_covers_text(self):
+        text = make_text(400, random.Random(3))
+        spans = split_sentences(text)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(text)
+        for (_, end1), (start2, _) in zip(spans, spans[1:]):
+            assert end1 == start2
+
+    def test_split_handles_no_period(self):
+        assert split_sentences("no periods here") == [(0, 15)]
+
+    def test_split_empty(self):
+        assert split_sentences("") == []
+
+
+class TestDocuments:
+    def test_standard_sizes(self):
+        assert len(small_document()) == 500
+        assert len(large_document()) == 10_000
+        assert len(document_of_length(1234)) == 1234
+
+    def test_micro_pairs_ranges(self):
+        pairs = list(micro_pairs(20, seed=4))
+        assert len(pairs) == 20
+        for pair in pairs:
+            assert 100 <= len(pair.before) <= 10_000
+            assert 100 <= len(pair.after) <= 10_000
+
+    def test_related_pairs_are_similar(self):
+        [pair] = list(micro_pairs(1, seed=5, related=True,
+                                  min_chars=500, max_chars=500))
+        # a handful of local edits: lengths stay in the same ballpark
+        assert abs(len(pair.after) - len(pair.before)) < 250
+
+    def test_deterministic(self):
+        a = list(micro_pairs(3, seed=9))
+        b = list(micro_pairs(3, seed=9))
+        assert a == b
+
+
+class TestEditScripts:
+    @pytest.fixture
+    def doc(self):
+        return small_document(7)
+
+    def test_sentence_insert_applies(self, doc):
+        delta = sentence_insert(doc, random.Random(1))
+        out = delta.apply(doc)
+        assert len(out) > len(doc)
+
+    def test_sentence_delete_applies(self, doc):
+        delta = sentence_delete(doc, random.Random(2))
+        assert len(delta.apply(doc)) < len(doc)
+
+    def test_sentence_replace_applies(self, doc):
+        delta = sentence_replace(doc, random.Random(3))
+        out = delta.apply(doc)
+        assert out != doc
+
+    def test_typing_burst(self, doc):
+        delta = typing_burst(doc, random.Random(4))
+        assert len(delta.apply(doc)) > len(doc)
+
+    @pytest.mark.parametrize("category", CATEGORIES)
+    def test_edit_stream_stays_valid(self, doc, category):
+        current = doc
+        for delta in edit_stream(doc, category, random.Random(5), 12):
+            current = delta.apply(current)  # raises if invalid
+
+    def test_inserts_only_monotone(self, doc):
+        current = doc
+        for delta in edit_stream(doc, "inserts only", random.Random(6), 8):
+            new = delta.apply(current)
+            assert len(new) > len(current)
+            current = new
+
+    def test_deletes_only_monotone(self, doc):
+        current = doc
+        for delta in edit_stream(doc, "deletes only", random.Random(7), 8):
+            new = delta.apply(current)
+            assert len(new) <= len(current) or not current
+            current = new
+
+    def test_unknown_category(self, doc):
+        with pytest.raises(ValueError):
+            list(edit_stream(doc, "explosions only", random.Random(8), 1))
+
+
+class TestTraces:
+    def test_trace_replays(self):
+        trace = make_trace(small_document(1), seed=2, duration=30)
+        assert isinstance(trace, EditingTrace)
+        assert trace.final_text() != trace.initial_text
+
+    def test_times_monotone(self):
+        trace = make_trace(small_document(1), seed=3, duration=45)
+        times = [e.at for e in trace.events]
+        assert times == sorted(times)
+        assert all(0 < t <= 45 for t in times)
+
+    def test_deltas_between_windows_partition_events(self):
+        trace = make_trace(small_document(2), seed=4, duration=60)
+        step = 10.0
+        collected = []
+        for start in range(0, 60, 10):
+            collected.extend(trace.deltas_between(start, start + step))
+        assert len(collected) == len(trace.events)
+
+    def test_deterministic(self):
+        a = make_trace(small_document(3), seed=5)
+        b = make_trace(small_document(3), seed=5)
+        assert a == b
