@@ -3,13 +3,16 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures examples all clean
+.PHONY: install test metrics-smoke bench figures examples all clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+test: metrics-smoke
 	$(PYTHON) -m pytest tests/
+
+metrics-smoke:    ## end-to-end check of the repro.obs pipeline + sidecar schema
+	PYTHONPATH=src $(PYTHON) benchmarks/metrics_smoke.py
 
 bench:            ## timings only (shape assertions skipped)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

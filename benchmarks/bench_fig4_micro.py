@@ -19,7 +19,13 @@ from __future__ import annotations
 import pytest
 
 from conftest import register_table
-from repro.bench import Sample, Stopwatch, ms_per_char, render_table
+from repro.bench import (
+    Sample,
+    Stopwatch,
+    metrics_cell,
+    ms_per_char,
+    render_table,
+)
 from repro.core import KeyMaterial, create_document, load_document
 from repro.crypto.random import DeterministicRandomSource
 from repro.workloads.diff import simple_delta
@@ -36,15 +42,21 @@ def _rng():
     return DeterministicRandomSource(4)
 
 
-def _run_micro(scheme: str = "rpc") -> dict[str, Sample]:
+#: counters reported in the table's operation-count column
+TRACKED = ("crypto.aes.calls", "index.node_visits")
+
+
+def _run_micro(scheme: str = "rpc") -> tuple[dict[str, Sample],
+                                             dict[str, dict[str, float]]]:
     enc = Sample()
     dec = Sample()
     inc = Sample()
+    ops: dict[str, dict[str, float]] = {}
     for pair in micro_pairs(PAIR_COUNT, seed=44):
         delta = simple_delta(pair.before, pair.after)
         delta_chars = max(1, delta.chars_inserted + delta.chars_deleted)
 
-        watch = Stopwatch()
+        watch = Stopwatch(track=TRACKED)
         with watch.measure():
             doc = create_document(pair.before, key_material=KEYS,
                                   scheme=scheme, rng=_rng())
@@ -59,24 +71,31 @@ def _run_micro(scheme: str = "rpc") -> dict[str, Sample]:
             reloaded = load_document(wire, key_material=KEYS)
         assert reloaded.text == pair.after
         dec.add(ms_per_char(watch.laps[-1], max(1, len(pair.after))))
-    return {"encryption (D)": enc, "decryption (D')": dec,
-            "incremental encryption": inc}
+
+        for label, lap in zip(("encryption (D)", "incremental encryption",
+                               "decryption (D')"), watch.lap_metrics):
+            totals = ops.setdefault(label, dict.fromkeys(TRACKED, 0.0))
+            for name in TRACKED:
+                totals[name] += lap[name]
+    return ({"encryption (D)": enc, "decryption (D')": dec,
+             "incremental encryption": inc}, ops)
 
 
 @pytest.fixture(scope="module")
 def micro_results():
-    results = _run_micro()
-    recb = _run_micro(scheme="recb")
+    results, ops = _run_micro()
+    recb, _ = _run_micro(scheme="recb")
     throughput = 1.0 / results["encryption (D)"].mean  # chars/ms ~ kB/s
     rows = [
         [name, f"{sample.mean:.5f} ms", f"dev {sample.dev:.5f}",
-         f"{recb[name].mean:.5f} ms"]
+         f"{recb[name].mean:.5f} ms", metrics_cell(ops[name])]
         for name, sample in results.items()
     ]
     rows.append(["throughput", f"{throughput:.1f} kB/s plaintext", "",
-                 f"{1.0 / recb['encryption (D)'].mean:.1f} kB/s"])
+                 f"{1.0 / recb['encryption (D)'].mean:.1f} kB/s", ""])
     register_table("fig4_micro", render_table(
-        ["operation", "RPC avg (per char)", "", "rECB avg"],
+        ["operation", "RPC avg (per char)", "", "rECB avg",
+         "ops (RPC total)"],
         rows,
         title=f"Fig. 4 - micro-benchmark, RPC mode "
               f"(averages from {PAIR_COUNT} tests; rECB shown for the "
@@ -114,7 +133,7 @@ class TestFig4:
     def test_shape_recb_no_slower_than_rpc(self, micro_results):
         """SVII-B: "the performance of confidentiality-only mode is
         slightly better than RPC" — allow generous noise headroom."""
-        recb = _run_micro(scheme="recb")
+        recb, _ = _run_micro(scheme="recb")
         assert (recb["encryption (D)"].mean
                 <= micro_results["encryption (D)"].mean * 1.5)
 

@@ -21,14 +21,26 @@ def register_table(name: str, text: str) -> None:
     (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def _write_metrics_sidecar() -> pathlib.Path:
+    """Dump the global metrics registry next to the figure tables."""
+    from repro.obs.export import write_sidecar
+
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    path = _RESULTS_DIR / "metrics.json"
+    write_sidecar(str(path))
+    return path
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _TABLES:
         return
+    sidecar = _write_metrics_sidecar()
     terminalreporter.write_sep("=", "paper tables & figures (reproduced)")
     for name, text in _TABLES:
         terminalreporter.write_line("")
         terminalreporter.write_line(text)
     terminalreporter.write_line("")
     terminalreporter.write_line(
-        f"(also written to {_RESULTS_DIR}/<figure>.txt)"
+        f"(also written to {_RESULTS_DIR}/<figure>.txt; operation-count "
+        f"metrics sidecar at {sidecar} — render with `repro stats`)"
     )

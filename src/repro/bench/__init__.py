@@ -1,8 +1,8 @@
-"""Benchmark harness utilities: timing accumulation and paper-style
-table rendering."""
+"""Benchmark harness utilities: timing accumulation, paper-style table
+rendering, and the metrics column/sidecar glue to :mod:`repro.obs`."""
 
-from repro.bench.reporting import banner, pct, render_table
+from repro.bench.reporting import banner, metrics_cell, pct, render_table
 from repro.bench.timing import Sample, Stopwatch, ms_per_char
 
 __all__ = ["Stopwatch", "Sample", "ms_per_char", "render_table", "pct",
-           "banner"]
+           "banner", "metrics_cell"]

@@ -6,9 +6,9 @@ the paper uses, so EXPERIMENTS.md can place them side by side.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
-__all__ = ["render_table", "pct", "banner"]
+__all__ = ["render_table", "pct", "banner", "metrics_cell"]
 
 
 def pct(fraction: float) -> str:
@@ -30,7 +30,18 @@ def render_table(
     rows: Sequence[Sequence[object]],
     title: str | None = None,
 ) -> str:
-    """Render an aligned plain-text table."""
+    """Render an aligned plain-text table.
+
+    Every row must have exactly ``len(headers)`` cells; a ragged row
+    raises ``ValueError`` naming the offender (instead of the
+    ``IndexError`` deep in column sizing it used to produce).
+    """
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)} "
+                f"(headers: {list(headers)!r}, row: {list(row)!r})"
+            )
     cells = [[str(h) for h in headers]] + [
         [str(c) for c in row] for row in rows
     ]
@@ -51,3 +62,18 @@ def render_table(
             "  ".join(row[col].ljust(widths[col]) for col in range(len(headers)))
         )
     return "\n".join(lines)
+
+
+def metrics_cell(deltas: Mapping[str, float],
+                 names: Mapping[str, str] | None = None) -> str:
+    """Format counter deltas as one compact table cell.
+
+    ``names`` maps metric name -> short label (defaults to the last
+    dotted component): ``{"crypto.aes.calls": "aes"}`` renders
+    ``aes=123``.  Used for the metrics column of benchmark tables.
+    """
+    parts = []
+    for name, value in deltas.items():
+        label = (names or {}).get(name, name.rsplit(".", 1)[-1])
+        parts.append(f"{label}={int(value)}")
+    return " ".join(parts)

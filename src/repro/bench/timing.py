@@ -6,21 +6,32 @@ import statistics
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
+
+from repro.obs import value_of
 
 __all__ = ["Stopwatch", "Sample", "ms_per_char"]
 
 
 class Stopwatch:
-    """Accumulates wall-clock time across ``measure()`` blocks."""
+    """Accumulates wall-clock time across ``measure()`` blocks.
 
-    def __init__(self) -> None:
+    Pass ``track`` (metric names from the global registry, e.g.
+    ``("crypto.aes.calls", "index.node_visits")``) and each lap also
+    records those counters' deltas into :attr:`lap_metrics` — the
+    benchmark tables' metrics column reads from there.
+    """
+
+    def __init__(self, track: Sequence[str] = ()) -> None:
         self.elapsed = 0.0
         self.laps: list[float] = []
+        self._track = tuple(track)
+        self.lap_metrics: list[dict[str, float]] = []
 
     @contextmanager
     def measure(self) -> Iterator[None]:
         """Context manager timing one lap into :attr:`laps`."""
+        before = {name: value_of(name) for name in self._track}
         start = time.perf_counter()
         try:
             yield
@@ -28,6 +39,15 @@ class Stopwatch:
             lap = time.perf_counter() - start
             self.elapsed += lap
             self.laps.append(lap)
+            if self._track:
+                self.lap_metrics.append({
+                    name: value_of(name) - before[name]
+                    for name in self._track
+                })
+
+    def metric_total(self, name: str) -> float:
+        """Sum of a tracked metric's deltas across all laps."""
+        return sum(lap.get(name, 0) for lap in self.lap_metrics)
 
 
 @dataclass

@@ -12,9 +12,13 @@ documents as files:
   password; verify it when a password is given
 * ``demo``     — a one-command tour of the simulated private-editing
   stack
+* ``stats``    — render a JSON metrics sidecar (as written by
+  ``--metrics-json`` or the benchmark harness) as a readable listing
 
-Passwords are taken from ``--password`` or the ``REPRO_PASSWORD``
-environment variable.
+Every command accepts ``--metrics`` (print the populated metrics
+registry to stderr when done) and ``--metrics-json PATH`` (write the
+registry as a JSON sidecar).  Passwords are taken from ``--password``
+or the ``REPRO_PASSWORD`` environment variable.
 """
 
 from __future__ import annotations
@@ -152,6 +156,40 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: render a stored JSON metrics sidecar."""
+    from repro.obs.export import load_sidecar, render_json_text
+
+    try:
+        sidecar = load_sidecar(args.infile)
+    except ValueError as exc:
+        print(f"error: invalid metrics sidecar: {exc}", file=sys.stderr)
+        return 1
+    print(render_json_text(
+        sidecar, title=f"metrics ({args.infile}, registry "
+                       f"{sidecar['registry']!r})"
+    ))
+    return 0
+
+
+def _emit_metrics(args: argparse.Namespace) -> None:
+    """Honor ``--metrics`` / ``--metrics-json`` after a command ran."""
+    if not (getattr(args, "metrics", False)
+            or getattr(args, "metrics_json", None)):
+        return
+    # Materialize every instrumented layer so the registry shows the
+    # full metric namespace (zero-valued where this command was idle).
+    import repro.net.channel  # noqa: F401
+    import repro.services.gdocs.server  # noqa: F401
+    from repro.obs.export import render_text, write_sidecar
+
+    if getattr(args, "metrics", False):
+        print(render_text(title="-- metrics --"), file=sys.stderr)
+    path = getattr(args, "metrics_json", None)
+    if path:
+        write_sidecar(path)
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     """``repro demo``: a one-command tour of the private-editing stack."""
     from repro.extension import PrivateEditingSession
@@ -186,8 +224,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--password", help="document password "
                        "(or set REPRO_PASSWORD)")
 
+    def add_metrics(p):
+        p.add_argument("--metrics", action="store_true",
+                       help="print the metrics registry to stderr "
+                            "when the command finishes")
+        p.add_argument("--metrics-json", metavar="PATH",
+                       help="write the metrics registry to PATH as a "
+                            "JSON sidecar (see `repro stats`)")
+
     p = sub.add_parser("encrypt", help="encrypt a plaintext file")
     add_password(p)
+    add_metrics(p)
     p.add_argument("--scheme", choices=["recb", "rpc"], default="rpc")
     p.add_argument("--block-chars", type=int, default=8)
     p.add_argument("--stego", action="store_true",
@@ -198,12 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("decrypt", help="decrypt a wire document")
     add_password(p)
+    add_metrics(p)
     p.add_argument("-o", "--output", default="-")
     p.add_argument("infile", nargs="?", default="-")
     p.set_defaults(func=cmd_decrypt)
 
     p = sub.add_parser("edit", help="apply one edit incrementally")
     add_password(p)
+    add_metrics(p)
     p.add_argument("--at", type=int, required=True,
                    help="character position of the edit")
     p.add_argument("--insert", help="text to insert")
@@ -218,11 +267,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("inspect", help="show a wire document's metadata")
     add_password(p)
+    add_metrics(p)
     p.add_argument("infile", nargs="?", default="-")
     p.set_defaults(func=cmd_inspect)
 
     p = sub.add_parser("demo", help="run the private-editing demo")
+    add_metrics(p)
     p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("stats", help="render a JSON metrics sidecar")
+    p.add_argument("infile", help="sidecar path (from --metrics-json "
+                                  "or the benchmark harness)")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 
@@ -232,13 +288,21 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        code = args.func(args)
+        _emit_metrics(args)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved CLI.  Point stdout at devnull so the interpreter's
+        # exit-time flush does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -64,6 +64,20 @@ from repro.errors import (
     DeltaApplicationError,
     PasswordError,
 )
+from repro.obs import counter, default_registry, histogram
+
+_DELTAS = counter("doc.deltas")
+_CLUSTERS = counter("doc.clusters")
+_CLUSTERS_PER_DELTA = histogram("doc.clusters_per_delta")
+#: blocks freshly encrypted by IncE — bounded by O(cluster) per delta
+_BLOCKS_REENCRYPTED = counter("doc.blocks_reencrypted")
+#: old blocks spliced out of the index and re-packed into new chunks
+_BLOCKS_REPACKED = counter("doc.blocks_repacked")
+_CDELTA_RECORDS = counter("doc.cdelta_records")
+_CDELTA_BYTES = counter("doc.cdelta_bytes")
+_FULL_REWRITES = counter("doc.full_rewrites")
+_REKEYS = counter("doc.rekeys")
+_APPLY_TIMER = default_registry().timer("doc.apply_delta_seconds")
 
 __all__ = [
     "BlockMeta",
@@ -308,6 +322,17 @@ class EncryptedDocument(ABC):
         The returned cdelta, applied by the *server* to its stored wire
         string, produces exactly this mirror's new :meth:`wire`.
         """
+        with _APPLY_TIMER.time():
+            cdelta = self._apply_delta_inner(delta)
+        _DELTAS.inc()
+        inserted = sum(
+            len(op.text) for op in cdelta.ops if isinstance(op, Insert)
+        )
+        _CDELTA_RECORDS.inc(inserted // RECORD_CHARS)
+        _CDELTA_BYTES.inc(inserted)
+        return cdelta
+
+    def _apply_delta_inner(self, delta: Delta) -> Delta:
         consumed = sum(
             op.count for op in delta.ops if isinstance(op, (Retain, Delete))
         )
@@ -359,6 +384,7 @@ class EncryptedDocument(ABC):
         changes).  Documents opened with the old password afterwards
         fail.
         """
+        _REKEYS.inc()
         new_keys = _resolve_keys(password, key_material,
                                  rng if rng is not None else self._rng)
         old_length = self.wire_length()
@@ -386,6 +412,7 @@ class EncryptedDocument(ABC):
 
     def _rewrite(self, new_text: str) -> Delta:
         """Full-rewrite fallback (empty-document transitions)."""
+        _FULL_REWRITES.inc()
         old_area = self.wire_length() - self._header.wire_length
         next_version = getattr(self._state, "version", -1) + 1
         self._build_fresh(new_text, version=next_version)
@@ -403,6 +430,8 @@ class EncryptedDocument(ABC):
     def _apply_clusters(self, edits: list[SourceEdit]) -> Delta:
         gap = max(16, 2 * self._block_chars)
         clusters = _cluster_edits(edits, gap)
+        _CLUSTERS.inc(len(clusters))
+        _CLUSTERS_PER_DELTA.observe(len(clusters))
 
         base = self._data_area_start()
         old_data_count = len(self._index)
@@ -432,6 +461,8 @@ class EncryptedDocument(ABC):
                 self._index.get(rb)[0].lead if rb < len(self._index) else None
             )
             new_metas = self._encrypt_span(old_metas, chunks, next_lead)
+            _BLOCKS_REENCRYPTED.inc(len(new_metas))
+            _BLOCKS_REPACKED.inc(rb - ra)
 
             for _ in range(rb - ra):
                 self._index.delete(ra)

@@ -23,9 +23,17 @@ NumPy arrays of blocks.
 from __future__ import annotations
 
 from repro.errors import BlockSizeError, KeySizeError
+from repro.obs import counter
 
 BLOCK_SIZE = 16
 _ROUNDS_BY_KEYLEN = {16: 10, 24: 12, 32: 14}
+
+#: total block-cipher invocations (scalar + batched), the sub-linearity
+#: tests' primary observable
+_AES_CALLS = counter("crypto.aes.calls")
+_AES_ENCRYPTS = counter("crypto.aes.encrypt_calls")
+_AES_DECRYPTS = counter("crypto.aes.decrypt_calls")
+_KEY_SCHEDULES = counter("crypto.aes.key_schedules")
 
 # ---------------------------------------------------------------------------
 # GF(2^8) arithmetic and S-box construction
@@ -212,6 +220,7 @@ class AES:
         self._dk = expand_key_decrypt(self._ek)
         self._rounds = len(self._ek) // 4 - 1
         self.key_size = len(key)
+        _KEY_SCHEDULES.inc()
 
     # -- encryption ---------------------------------------------------
 
@@ -221,6 +230,8 @@ class AES:
             raise BlockSizeError(
                 f"AES block must be 16 bytes, got {len(block)}"
             )
+        _AES_CALLS.inc()
+        _AES_ENCRYPTS.inc()
         ek = self._ek
         te0, te1, te2, te3 = TE
         sbox = SBOX
@@ -263,6 +274,8 @@ class AES:
             raise BlockSizeError(
                 f"AES block must be 16 bytes, got {len(block)}"
             )
+        _AES_CALLS.inc()
+        _AES_DECRYPTS.inc()
         dk = self._dk
         td0, td1, td2, td3 = TD
         inv = INV_SBOX

@@ -18,6 +18,12 @@ import numpy as np
 
 from repro.crypto import aes as _aes
 from repro.errors import BlockSizeError
+from repro.obs import counter, histogram
+
+#: batched invocations also count into crypto.aes.calls (one per block),
+#: so the sub-linearity bound holds whichever path a span takes
+_BATCH_CALLS = counter("crypto.aes.batch_calls")
+_BATCH_BLOCKS = histogram("crypto.aes.batch_blocks")
 
 _TE = [np.array(t, dtype=np.uint32) for t in _aes.TE]
 _TD = [np.array(t, dtype=np.uint32) for t in _aes.TD]
@@ -47,6 +53,10 @@ def encrypt_blocks(cipher: _aes.AES, data: bytes) -> bytes:
     words = _to_words(data)
     if words.shape[0] == 0:
         return b""
+    _aes._AES_CALLS.inc(words.shape[0])
+    _aes._AES_ENCRYPTS.inc(words.shape[0])
+    _BATCH_CALLS.inc()
+    _BATCH_BLOCKS.observe(words.shape[0])
     ek = cipher._ek
     rounds = cipher._rounds
     te0, te1, te2, te3 = _TE
@@ -87,6 +97,10 @@ def decrypt_blocks(cipher: _aes.AES, data: bytes) -> bytes:
     words = _to_words(data)
     if words.shape[0] == 0:
         return b""
+    _aes._AES_CALLS.inc(words.shape[0])
+    _aes._AES_DECRYPTS.inc(words.shape[0])
+    _BATCH_CALLS.inc()
+    _BATCH_BLOCKS.observe(words.shape[0])
     dk = cipher._dk
     rounds = cipher._rounds
     td0, td1, td2, td3 = _TD

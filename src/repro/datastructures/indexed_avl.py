@@ -18,8 +18,14 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator
 
 from repro.errors import DataStructureError
+from repro.obs import counter
 
 __all__ = ["IndexedAVL"]
+
+#: shared with the skip list: nodes touched on any search/mutation path
+_NODE_VISITS = counter("index.node_visits")
+_SEARCHES = counter("index.searches")
+_ROTATIONS = counter("index.avl.rotations")
 
 
 class _Node:
@@ -57,6 +63,7 @@ def _refresh(node: _Node) -> None:
 def _rotate_right(y: _Node) -> _Node:
     x = y.left
     assert x is not None
+    _ROTATIONS.inc()
     y.left = x.right
     x.right = y
     _refresh(y)
@@ -67,6 +74,7 @@ def _rotate_right(y: _Node) -> _Node:
 def _rotate_left(x: _Node) -> _Node:
     y = x.right
     assert y is not None
+    _ROTATIONS.inc()
     x.right = y.left
     y.left = x
     _refresh(x)
@@ -129,11 +137,15 @@ class IndexedAVL:
             )
         node = self._root
         rank = 0
+        visits = 0
+        _SEARCHES.inc()
         while node is not None:
+            visits += 1
             left_chars = _chars(node.left)
             if index < left_chars:
                 node = node.left
             elif index < left_chars + node.width:
+                _NODE_VISITS.inc(visits)
                 return rank + _elems(node.left), index - left_chars
             else:
                 rank += _elems(node.left) + 1
@@ -145,11 +157,15 @@ class IndexedAVL:
         if not 0 <= rank < len(self):
             raise IndexError(f"rank {rank} out of range [0, {len(self)})")
         node = self._root
+        visits = 0
+        _SEARCHES.inc()
         while node is not None:
+            visits += 1
             left = _elems(node.left)
             if rank < left:
                 node = node.left
             elif rank == left:
+                _NODE_VISITS.inc(visits)
                 return node
             else:
                 rank -= left + 1
@@ -169,11 +185,15 @@ class IndexedAVL:
             return self.total_chars
         node = self._root
         start = 0
+        visits = 0
+        _SEARCHES.inc()
         while node is not None:
+            visits += 1
             left = _elems(node.left)
             if rank < left:
                 node = node.left
             elif rank == left:
+                _NODE_VISITS.inc(visits)
                 return start + _chars(node.left)
             else:
                 start += _chars(node.left) + node.width
@@ -195,6 +215,7 @@ class IndexedAVL:
                 value: Any, width: int) -> _Node:
         if node is None:
             return _Node(value, width)
+        _NODE_VISITS.inc()
         left = _elems(node.left)
         if rank <= left:
             node.left = self._insert(node.left, rank, value, width)
@@ -212,6 +233,7 @@ class IndexedAVL:
 
     def _delete(self, node: _Node | None, rank: int) -> _Node | None:
         assert node is not None
+        _NODE_VISITS.inc()
         left = _elems(node.left)
         if rank < left:
             node.left = self._delete(node.left, rank)

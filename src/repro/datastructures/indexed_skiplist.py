@@ -28,10 +28,17 @@ import random
 from typing import Any, Iterable, Iterator
 
 from repro.errors import DataStructureError
+from repro.obs import counter, gauge
 
 __all__ = ["IndexedSkipList"]
 
 _MAX_LEVEL = 32
+
+#: horizontal search-path steps (shared with IndexedAVL) — the paper's
+#: O(log n) claim for Algorithm 1, made countable
+_NODE_VISITS = counter("index.node_visits")
+_SEARCHES = counter("index.searches")
+_LIST_LEVEL = gauge("index.skiplist.level")
 
 
 class _Node:
@@ -107,6 +114,7 @@ class IndexedSkipList:
         x = self._head
         pos = -1
         cend = 0
+        visits = 0
         for i in range(self._level - 1, -1, -1):
             nxt = x.forward[i]
             while nxt is not None and pos + x.span_elems[i] <= rank - 1:
@@ -114,9 +122,12 @@ class IndexedSkipList:
                 cend += x.span_chars[i]
                 x = nxt
                 nxt = x.forward[i]
+                visits += 1
             update[i] = x
             ranks[i] = pos
             cends[i] = cend
+        _SEARCHES.inc()
+        _NODE_VISITS.inc(visits)
         return update, ranks, cends
 
     # -- queries ---------------------------------------------------------
@@ -136,6 +147,7 @@ class IndexedSkipList:
         x = self._head
         pos = -1
         cend = 0
+        visits = 0
         for i in range(self._level - 1, -1, -1):
             nxt = x.forward[i]
             while nxt is not None and cend + x.span_chars[i] <= index:
@@ -143,6 +155,9 @@ class IndexedSkipList:
                 cend += x.span_chars[i]
                 x = nxt
                 nxt = x.forward[i]
+                visits += 1
+        _SEARCHES.inc()
+        _NODE_VISITS.inc(visits)
         target = x.forward[0]
         assert target is not None  # index < total_chars guarantees this
         return pos + 1, index - cend
@@ -156,12 +171,16 @@ class IndexedSkipList:
         self._check_rank(rank, self._size)
         x = self._head
         pos = -1
+        visits = 0
         for i in range(self._level - 1, -1, -1):
             nxt = x.forward[i]
             while nxt is not None and pos + x.span_elems[i] <= rank:
                 pos += x.span_elems[i]
                 x = nxt
                 nxt = x.forward[i]
+                visits += 1
+        _SEARCHES.inc()
+        _NODE_VISITS.inc(visits)
         assert pos == rank
         return x
 
@@ -208,6 +227,7 @@ class IndexedSkipList:
 
         self._size += 1
         self._chars += width
+        _LIST_LEVEL.set(self._level)
 
     def delete(self, rank: int) -> tuple[Any, int]:
         """Remove block ``rank``; return its ``(value, width)``."""
@@ -231,6 +251,7 @@ class IndexedSkipList:
 
         self._size -= 1
         self._chars -= target.width
+        _LIST_LEVEL.set(self._level)
         return target.value, target.width
 
     def extend(self, items: Iterable[tuple[Any, int]]) -> None:

@@ -20,14 +20,21 @@ estimate, and is appended to ``exchange_log`` for analysis.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import Callable, MutableSequence, Protocol
 
 from repro.errors import BlockedRequestError
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.latency import INSTANT, LatencyModel, SimClock
+from repro.obs import counter, histogram
 
 __all__ = ["Mediator", "Channel", "Exchange"]
+
+_EXCHANGES = counter("net.exchanges")
+_WIRE_BYTES = counter("net.wire_bytes")
+_BLOCKED = counter("net.blocked")
+_LATENCY = histogram("net.latency_seconds")
 
 
 class Mediator(Protocol):
@@ -56,14 +63,25 @@ class Exchange:
 
 
 class Channel:
-    """Delivers requests to a server with mediation and observation."""
+    """Delivers requests to a server with mediation and observation.
+
+    ``max_log`` caps ``exchange_log`` and ``blocked_log`` at the most
+    recent N entries (a ring buffer), so long macro-bench sessions do
+    not retain every exchange; the default (None) keeps everything,
+    which is what the tests and the security harness expect.  Aggregate
+    statistics (``net.exchanges``, ``net.wire_bytes``, the latency
+    histogram) are unaffected by the cap.
+    """
 
     def __init__(
         self,
         server: Callable[[HttpRequest], HttpResponse],
         latency: LatencyModel | None = None,
         clock: SimClock | None = None,
+        max_log: int | None = None,
     ):
+        if max_log is not None and max_log < 1:
+            raise ValueError(f"max_log must be >= 1 or None, got {max_log}")
         self._server = server
         self._latency = latency if latency is not None else INSTANT()
         self.clock = clock if clock is not None else SimClock()
@@ -71,8 +89,13 @@ class Channel:
         self._taps: list[Callable[[Exchange], None]] = []
         self._request_tamperer: Callable[[HttpRequest], HttpRequest] | None = None
         self._response_tamperer: Callable[[HttpResponse], HttpResponse] | None = None
-        self.exchange_log: list[Exchange] = []
-        self.blocked_log: list[HttpRequest] = []
+        self.max_log = max_log
+        self.exchange_log: MutableSequence[Exchange] = (
+            [] if max_log is None else deque(maxlen=max_log)
+        )
+        self.blocked_log: MutableSequence[HttpRequest] = (
+            [] if max_log is None else deque(maxlen=max_log)
+        )
 
     # -- configuration ---------------------------------------------------
 
@@ -106,6 +129,7 @@ class Channel:
             mediated = self._mediator.on_request(request)
             if mediated is None:
                 self.blocked_log.append(request)
+                _BLOCKED.inc()
                 raise BlockedRequestError(
                     f"extension dropped unrecognized request "
                     f"{request.method} {request.url}"
@@ -132,6 +156,9 @@ class Channel:
             sent_at=sent_at, latency=latency,
         )
         self.exchange_log.append(exchange)
+        _EXCHANGES.inc()
+        _WIRE_BYTES.inc(outgoing.wire_bytes + response.wire_bytes)
+        _LATENCY.observe(latency)
         for tap in self._taps:
             tap(exchange)
 

@@ -13,12 +13,19 @@ from dataclasses import dataclass, field, replace
 
 from repro.encoding.formenc import encode_form, parse_form
 from repro.errors import ProtocolError
+from repro.obs import counter
 
 __all__ = ["HttpRequest", "HttpResponse", "parse_url"]
+
+#: actual parse work vs. requests served from the per-instance cache —
+#: the pair proves host/path/query no longer re-parse the same URL
+_URL_PARSES = counter("net.url_parses")
+_URL_CACHE_HITS = counter("net.url_cache_hits")
 
 
 def parse_url(url: str) -> tuple[str, str, dict[str, str]]:
     """Split a URL into ``(host, path, query_params)``."""
+    _URL_PARSES.inc()
     rest = url
     if "://" in rest:
         scheme, _, rest = rest.partition("://")
@@ -43,16 +50,35 @@ class HttpRequest:
     headers: dict[str, str] = field(default_factory=dict)
 
     @property
+    def _parsed(self) -> tuple[str, str, dict[str, str]]:
+        """The parse of :attr:`url`, computed once per instance.
+
+        The dataclass is frozen, so the cache is stashed directly in
+        ``__dict__`` (which bypasses the frozen ``__setattr__``), the
+        same mechanism ``functools.cached_property`` relies on.  One
+        mediated exchange reads host/path/query several times; without
+        this every read re-ran :func:`parse_url`.
+        """
+        cached = self.__dict__.get("_parsed_url")
+        if cached is None:
+            cached = parse_url(self.url)
+            self.__dict__["_parsed_url"] = cached
+        else:
+            _URL_CACHE_HITS.inc()
+        return cached
+
+    @property
     def host(self) -> str:
-        return parse_url(self.url)[0]
+        return self._parsed[0]
 
     @property
     def path(self) -> str:
-        return parse_url(self.url)[1]
+        return self._parsed[1]
 
     @property
     def query(self) -> dict[str, str]:
-        return parse_url(self.url)[2]
+        # Copy so a caller mutating the result cannot poison the cache.
+        return dict(self._parsed[2])
 
     @property
     def form(self) -> dict[str, str]:

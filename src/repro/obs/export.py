@@ -1,0 +1,157 @@
+"""Text and JSON renderings of a metrics registry.
+
+Two consumers:
+
+* humans — ``render_text`` produces the aligned listing printed by
+  ``repro <cmd> --metrics`` and ``repro stats``;
+* tooling — ``to_json`` produces the benchmark **metrics sidecar**
+  (schema id ``repro.obs/v1``), validated by ``validate_metrics`` in
+  ``make metrics-smoke`` and re-rendered by ``repro stats``.
+
+The JSON shape::
+
+    {
+      "schema": "repro.obs/v1",
+      "registry": "repro",
+      "counters":   {"crypto.aes.calls": 1234, ...},
+      "gauges":     {"services.gdocs.stored_bytes": 8192.0, ...},
+      "histograms": {"net.latency_seconds":
+                        {"count": 9, "sum": ..., "min": ..., "max": ...,
+                         "mean": ..., "p50": ..., "p90": ..., "p99": ...},
+                     ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    default_registry,
+)
+
+__all__ = [
+    "SCHEMA_ID", "to_json", "render_text", "render_json_text",
+    "validate_metrics", "write_sidecar", "load_sidecar",
+]
+
+SCHEMA_ID = "repro.obs/v1"
+
+_HIST_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p90", "p99")
+
+
+def to_json(registry: Registry | None = None) -> dict[str, Any]:
+    """Serialize ``registry`` (default: the global one) to the sidecar shape."""
+    reg = registry if registry is not None else default_registry()
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict[str, float]] = {}
+    for instrument in reg.instruments():
+        if isinstance(instrument, Counter):
+            counters[instrument.name] = instrument.value
+        elif isinstance(instrument, Gauge):
+            gauges[instrument.name] = instrument.value
+        elif isinstance(instrument, Histogram):
+            histograms[instrument.name] = instrument.summary()
+    return {
+        "schema": SCHEMA_ID,
+        "registry": reg.name,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def validate_metrics(obj: Any) -> None:
+    """Validate a decoded sidecar against the ``repro.obs/v1`` schema.
+
+    Raises ``ValueError`` naming the first offending path; returns None
+    on success.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"sidecar must be an object, got {type(obj).__name__}")
+    if obj.get("schema") != SCHEMA_ID:
+        raise ValueError(
+            f"unknown schema {obj.get('schema')!r}, expected {SCHEMA_ID!r}"
+        )
+    if not isinstance(obj.get("registry"), str):
+        raise ValueError("'registry' must be a string")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(obj.get(section), dict):
+            raise ValueError(f"{section!r} must be an object")
+    for name, value in obj["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(
+                f"counters[{name!r}] must be a non-negative integer, "
+                f"got {value!r}"
+            )
+    for name, value in obj["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(f"gauges[{name!r}] must be a number, got {value!r}")
+    for name, summary in obj["histograms"].items():
+        if not isinstance(summary, dict):
+            raise ValueError(f"histograms[{name!r}] must be an object")
+        for fld in _HIST_FIELDS:
+            value = summary.get(fld)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"histograms[{name!r}].{fld} must be a number, "
+                    f"got {value!r}"
+                )
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_json_text(obj: dict[str, Any], title: str | None = None) -> str:
+    """Render a decoded sidecar as the aligned human listing."""
+    rows: list[tuple[str, str]] = []
+    for name, value in sorted(obj.get("counters", {}).items()):
+        rows.append((name, _fmt(value)))
+    for name, value in sorted(obj.get("gauges", {}).items()):
+        rows.append((name, _fmt(value)))
+    for name, summary in sorted(obj.get("histograms", {}).items()):
+        rows.append((
+            name,
+            f"count={_fmt(summary['count'])} mean={_fmt(summary['mean'])} "
+            f"p50={_fmt(summary['p50'])} p99={_fmt(summary['p99'])} "
+            f"max={_fmt(summary['max'])}",
+        ))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{name.ljust(width)}  {value}" for name, value in rows]
+    if title:
+        lines.insert(0, title)
+    return "\n".join(lines)
+
+
+def render_text(registry: Registry | None = None,
+                title: str | None = None) -> str:
+    """Render ``registry`` as the aligned human listing."""
+    return render_json_text(to_json(registry), title=title)
+
+
+def write_sidecar(path: str, registry: Registry | None = None) -> dict[str, Any]:
+    """Serialize ``registry`` to ``path`` as JSON; returns the object."""
+    obj = to_json(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(obj, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return obj
+
+
+def load_sidecar(path: str) -> dict[str, Any]:
+    """Read and validate a sidecar file; returns the decoded object."""
+    with open(path, "r", encoding="utf-8") as handle:
+        obj = json.load(handle)
+    validate_metrics(obj)
+    return obj

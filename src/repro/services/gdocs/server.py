@@ -26,11 +26,25 @@ import itertools
 from repro.encoding.formenc import encode_form
 from repro.errors import ProtocolError, QuotaExceededError
 from repro.net.http import HttpRequest, HttpResponse
+from repro.obs import default_registry
 from repro.services.gdocs import protocol
 from repro.services.gdocs.storage import DocumentStore, StoredDocument
 from repro.workloads.text import WORDS
 
 __all__ = ["GDocsServer", "EditSession"]
+
+_OBS = default_registry().scope("services.gdocs")
+#: requests by endpoint: services.gdocs.requests.{open,full_save,
+#: delta_save,fetch,feature,error}
+_REQ = _OBS.scope("requests")
+_REQ_OPEN = _REQ.counter("open")
+_REQ_FULL_SAVE = _REQ.counter("full_save")
+_REQ_DELTA_SAVE = _REQ.counter("delta_save")
+_REQ_FETCH = _REQ.counter("fetch")
+_REQ_FEATURE = _REQ.counter("feature")
+_REQ_ERROR = _REQ.counter("error")
+_STORED_BYTES = _OBS.gauge("stored_bytes")
+_MERGES = _OBS.counter("merges")
 
 
 class EditSession:
@@ -86,6 +100,13 @@ class GDocsServer:
         except ProtocolError as exc:
             return _error(400, str(exc))
 
+    def _stored_bytes(self) -> int:
+        """Total characters currently held by the store (gauge value)."""
+        return sum(
+            len(self.store.get(doc_id).content)
+            for doc_id in self.store.doc_ids()
+        )
+
     def _dispatch(self, request: HttpRequest) -> HttpResponse:
         if request.path != protocol.DOC_PATH:
             return _error(404, f"no such path {request.path!r}")
@@ -96,17 +117,22 @@ class GDocsServer:
 
         action = params.get("action")
         if request.method == "GET":
+            _REQ_FETCH.inc()
             return self._fetch(doc_id)
         if request.method != "POST":
             return _error(405, f"method {request.method} not allowed")
         if action:
+            _REQ_FEATURE.inc()
             return self._feature(doc_id, action, request)
 
         form = request.form if request.body else {}
         if protocol.F_DOC_CONTENTS in form:
+            _REQ_FULL_SAVE.inc()
             return self._full_save(doc_id, form)
         if protocol.F_DELTA in form:
+            _REQ_DELTA_SAVE.inc()
             return self._delta_save(doc_id, form)
+        _REQ_OPEN.inc()
         return self._open(doc_id)
 
     # -- session & saves -----------------------------------------------
@@ -142,6 +168,7 @@ class GDocsServer:
             return self._ack(doc, conflict=False)
         doc = self.store.set_content(doc_id, content)
         session.saw_full_save = True
+        _STORED_BYTES.set(self._stored_bytes())
         return self._ack(doc, conflict=False)
 
     def _delta_save(self, doc_id: str, form: dict[str, str]) -> HttpResponse:
@@ -168,6 +195,7 @@ class GDocsServer:
             if refused is not None:
                 return refused
         doc = self.store.apply_delta(doc_id, form[protocol.F_DELTA])
+        _STORED_BYTES.set(self._stored_bytes())
         return self._ack(doc, conflict=False, echo_content=False)
 
     def _merge_stale_delta(self, doc_id: str, base_rev: int,
@@ -201,6 +229,8 @@ class GDocsServer:
         except DeltaError:
             return None
         self.merges_performed += 1
+        _MERGES.inc()
+        _STORED_BYTES.set(self._stored_bytes())
         # Echo the merged content so the stale client can resync.
         return self._ack(doc, conflict=False, echo_content=True,
                          merged=True)
@@ -271,4 +301,5 @@ def _mock_translate(content: str) -> str:
 
 
 def _error(status: int, message: str) -> HttpResponse:
+    _REQ_ERROR.inc()
     return HttpResponse(status, encode_form({"error": message}))

@@ -53,3 +53,28 @@ class TestFormatting:
             i for i, line in enumerate(lines) if "workload" in line
         )
         assert set(lines[header_idx + 1]) == {"-"}
+
+
+class TestRenderTableErrors:
+    def test_ragged_row_raises_with_position(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="row 1 has 2 cells, expected 3"):
+            render_table(["a", "b", "c"],
+                         [["1", "2", "3"], ["1", "2"]])
+
+
+class TestMetricTracking:
+    def test_lap_metrics_record_counter_deltas(self):
+        from repro.bench import metrics_cell
+        from repro.obs import counter
+
+        probe = counter("test_bench.probe")
+        watch = Stopwatch(track=("test_bench.probe",))
+        with watch.measure():
+            probe.inc(5)
+        with watch.measure():
+            probe.inc(2)
+        assert [lap["test_bench.probe"] for lap in watch.lap_metrics] == [5, 2]
+        assert watch.metric_total("test_bench.probe") == 7
+        assert metrics_cell(watch.lap_metrics[0]) == "probe=5"

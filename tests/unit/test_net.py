@@ -142,3 +142,61 @@ class TestChannel:
         )
         resp = ch.send(HttpRequest("POST", "http://h/p", body="good"))
         assert resp.body == "EVIL"
+
+
+class TestChannelRingBuffer:
+    def test_max_log_caps_exchange_log(self):
+        ch = Channel(_echo_server, max_log=3)
+        for i in range(7):
+            ch.send(HttpRequest("POST", "http://h/p", body=str(i)))
+        assert len(ch.exchange_log) == 3
+        assert [ex.request.body for ex in ch.exchange_log] == ["4", "5", "6"]
+
+    def test_max_log_caps_blocked_log(self):
+        class DropAll:
+            def on_request(self, request):
+                return None
+
+            def on_response(self, request, response):
+                return response
+
+        ch = Channel(_echo_server, max_log=2)
+        ch.set_mediator(DropAll())
+        for i in range(5):
+            with pytest.raises(BlockedRequestError):
+                ch.send(HttpRequest("POST", "http://h/p", body=str(i)))
+        assert [r.body for r in ch.blocked_log] == ["3", "4"]
+
+    def test_max_log_does_not_affect_aggregates(self):
+        from repro.obs import capture
+
+        ch = Channel(_echo_server, max_log=1)
+        with capture() as cap:
+            for _ in range(6):
+                ch.send(HttpRequest("POST", "http://h/p", body="x"))
+        assert len(ch.exchange_log) == 1
+        assert cap["net.exchanges"] == 6
+        assert cap["net.latency_seconds"] == 6
+
+    def test_invalid_max_log_rejected(self):
+        with pytest.raises(ValueError):
+            Channel(_echo_server, max_log=0)
+
+
+class TestUrlParseCache:
+    def test_host_path_query_parse_once(self):
+        from repro.obs import capture
+
+        req = HttpRequest("GET", "http://docs.google.com/Doc?docID=abc&x=1")
+        with capture() as cap:
+            assert req.host == "docs.google.com"
+            assert req.path == "/Doc"
+            assert req.query == {"docID": "abc", "x": "1"}
+            assert req.query["docID"] == "abc"
+        assert cap["net.url_parses"] == 1
+        assert cap["net.url_cache_hits"] == 3
+
+    def test_cached_query_is_a_copy(self):
+        req = HttpRequest("GET", "http://h/p?a=1")
+        req.query["a"] = "poisoned"
+        assert req.query == {"a": "1"}
