@@ -3,7 +3,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke bench figures examples all clean
+.PHONY: install test metrics-smoke bench bench-edits figures examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -16,6 +16,9 @@ metrics-smoke:    ## end-to-end check of the repro.obs pipeline + sidecar schema
 
 bench:            ## timings only (shape assertions skipped)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-edits:      ## edit-throughput sweep -> BENCH_edit_throughput.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_edit_throughput.py
 
 figures:          ## timings + qualitative shape assertions + tables
 	$(PYTHON) -m pytest benchmarks/

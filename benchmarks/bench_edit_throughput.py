@@ -1,0 +1,187 @@
+"""Edit throughput — edits/sec vs document size, client and server.
+
+The paper's sub-linearity claim (SV) is about the *whole* edit
+pipeline: the client-side IncE transform (index search + cluster
+re-encryption) and the server-side delta apply both have to stay
+sub-linear in document size, or interactive editing dies at scale.
+This benchmark measures sustained edits/sec at several document sizes
+for
+
+* the client IncE path (``EncryptedDocument.apply_delta``), for both
+  schemes (rECB, RPC) and both block-index backends (IndexedSkipList,
+  IndexedAVL), and
+* the server store (``DocumentStore.apply_delta``), which applies
+  opaque deltas to the stored text.
+
+Run as a script (``make bench-edits``) it writes the
+``BENCH_edit_throughput.json`` sidecar at the repo root.  The sidecar
+keeps the *first* recorded run as ``baseline`` forever, so the perf
+trajectory across PRs stays visible: ``current`` vs ``baseline`` is
+the speedup delivered since the file was first written (the pre-splice,
+pre-piece-table edit pipeline).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.core import Delta, KeyMaterial, create_document
+from repro.crypto.random import DeterministicRandomSource
+from repro.datastructures import IndexedAVL, IndexedSkipList
+from repro.services.gdocs.storage import DocumentStore
+from repro.workloads.text import make_text
+
+SCHEMA = "repro.bench.edit_throughput/v1"
+SIDECAR = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_edit_throughput.json"
+
+KEYS = KeyMaterial.from_password("bench", salt=b"benchsalt1")
+
+#: plaintext sizes for the client IncE path (chars)
+CLIENT_SIZES = [5_000, 20_000, 80_000]
+#: stored sizes for the server store path (chars; quota is 500k)
+SERVER_SIZES = [10_000, 100_000, 400_000]
+
+INDEXES = {
+    "skiplist": lambda: IndexedSkipList(rng=random.Random(5)),
+    "avl": IndexedAVL,
+}
+
+
+def _edit_deltas(rng: random.Random, length: int, count: int) -> list[Delta]:
+    """Small localized replacements; document length stays a bounded
+    random walk so a pre-generated delta always fits."""
+    deltas = []
+    for _ in range(count):
+        ncut = rng.randint(1, 12)
+        pos = rng.randrange(max(1, length - ncut))
+        text = "x" * rng.randint(1, 12)
+        deltas.append(Delta.replacement(pos, ncut, text))
+        length += len(text) - ncut
+    return deltas
+
+
+def _client_eps(scheme: str, index: str, size: int, edits: int) -> float:
+    """Sustained client-side edits/sec at the given document size."""
+    rng = random.Random(size * 31 + edits)
+    text = make_text(size, rng)
+    doc = create_document(text, key_material=KEYS, scheme=scheme,
+                          rng=DeterministicRandomSource(9),
+                          index_factory=INDEXES[index])
+    deltas = _edit_deltas(rng, doc.char_length, edits)
+    t0 = time.perf_counter()
+    for delta in deltas:
+        doc.apply_delta(delta)
+    return edits / (time.perf_counter() - t0)
+
+
+def _server_eps(size: int, edits: int) -> float:
+    """Sustained server-side (store) edits/sec at the given size."""
+    rng = random.Random(size * 17 + edits)
+    store = DocumentStore()
+    store.create("doc", make_text(size, rng))
+    wire_deltas = [d.serialize()
+                   for d in _edit_deltas(rng, size, edits)]
+    t0 = time.perf_counter()
+    for wire in wire_deltas:
+        store.apply_delta("doc", wire)
+    return edits / (time.perf_counter() - t0)
+
+
+def run_suite(client_edits: int = 120,
+              server_edits: int = 400) -> dict[str, dict[str, float]]:
+    """Measure every configuration; keys are flat human-readable labels."""
+    results: dict[str, dict[str, float]] = {"client": {}, "server": {}}
+    for scheme in ("recb", "rpc"):
+        for index in INDEXES:
+            for size in CLIENT_SIZES:
+                label = f"{scheme}/{index}/n={size}"
+                results["client"][label] = round(
+                    _client_eps(scheme, index, size, client_edits), 1
+                )
+    for size in SERVER_SIZES:
+        results["server"][f"n={size}"] = round(
+            _server_eps(size, server_edits), 1
+        )
+    return results
+
+
+def write_sidecar(results: dict) -> dict:
+    """Write BENCH_edit_throughput.json, preserving the first-ever run
+    as the ``baseline`` the acceptance comparison is made against."""
+    baseline = None
+    if SIDECAR.exists():
+        previous = json.loads(SIDECAR.read_text())
+        baseline = previous.get("baseline") or previous.get("current")
+    payload = {
+        "schema": SCHEMA,
+        "unit": "edits/sec",
+        "baseline": baseline,
+        "current": results,
+    }
+    if baseline:
+        payload["speedup"] = {
+            section: {
+                label: round(results[section][label] / base, 2)
+                for label, base in baseline[section].items()
+                if label in results.get(section, {}) and base
+            }
+            for section in baseline
+        }
+    SIDECAR.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# -- pytest mode (collected with the other bench_* figures) --------------
+
+def _register(results: dict) -> None:
+    from conftest import register_table
+    from repro.bench import render_table
+
+    labels = sorted(results["client"]) + sorted(results["server"])
+    rows = [
+        [label, f"{results['client' if label in results['client'] else 'server'][label]:.0f} edits/s"]
+        for label in labels
+    ]
+    register_table("edit_throughput", render_table(
+        ["configuration", "throughput"], rows,
+        title="Edit throughput - client IncE and server store, by "
+              "document size",
+    ))
+
+
+import pytest  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def throughput():
+    results = run_suite(client_edits=60, server_edits=150)
+    _register(results)
+    return results
+
+
+class TestEditThroughput:
+    def test_positive_throughput_everywhere(self, throughput):
+        for section in ("client", "server"):
+            for label, eps in throughput[section].items():
+                assert eps > 0, label
+
+    def test_shape_client_stays_sublinear(self, throughput):
+        """16x more document must not cost anywhere near 16x per edit
+        for the log-index client path (generous 8x headroom)."""
+        for scheme in ("recb", "rpc"):
+            for index in INDEXES:
+                small = throughput["client"][f"{scheme}/{index}/n={CLIENT_SIZES[0]}"]
+                large = throughput["client"][f"{scheme}/{index}/n={CLIENT_SIZES[-1]}"]
+                assert large > small / 8, (scheme, index)
+
+
+if __name__ == "__main__":
+    suite = run_suite()
+    payload = write_sidecar(suite)
+    json.dump(payload, sys.stdout, indent=2)
+    print()

@@ -43,7 +43,8 @@ def _rng():
 
 
 #: counters reported in the table's operation-count column
-TRACKED = ("crypto.aes.calls", "index.node_visits")
+TRACKED = ("crypto.aes.calls", "index.node_visits", "index.splices",
+           "index.range_visits")
 
 
 def _run_micro(scheme: str = "rpc") -> tuple[dict[str, Sample],

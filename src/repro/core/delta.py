@@ -205,8 +205,25 @@ class Delta:
 
     # -- semantics --------------------------------------------------------
 
-    def apply(self, document: str) -> str:
-        """Apply this delta to ``document`` and return the result."""
+    def apply(self, document) -> str:
+        """Apply this delta to ``document`` and return the result.
+
+        ``document`` is normally a plain string; the delta is replayed
+        into a fresh string in O(document) time.  It may instead be any
+        piece-table-like object exposing ``apply_delta(delta)`` (e.g.
+        :class:`repro.services.gdocs.pieces.PieceTable` — duck-typed so
+        the core layer needs no service import): the target is edited
+        in place in O(ops + pieces) and returned.
+        """
+        if not isinstance(document, str):
+            applier = getattr(document, "apply_delta", None)
+            if applier is None:
+                raise TypeError(
+                    f"Delta.apply target must be a str or expose "
+                    f"apply_delta(); got {type(document).__name__}"
+                )
+            applier(self)
+            return document
         pieces: list[str] = []
         cursor = 0
         for op in self._ops:

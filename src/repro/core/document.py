@@ -22,7 +22,9 @@ A plaintext delta is first re-anchored into original-document
 coordinates, then grouped into *clusters* of nearby edits.  Each cluster
 maps to a contiguous run of blocks; only that run is re-encrypted (for
 RPC, reusing the boundary nonces so neighbours stay chained), the index
-is updated along the ``O(log n)`` search path, and the cdelta patches
+run is read with one ``get_range`` walk and replaced with one ``splice``
+along a single ``O(log n)`` search path — ``O(log n + cluster)`` total,
+never a per-rank get/delete/insert loop — and the cdelta patches
 exactly those records.  Bookkeeping records are patched as needed — for
 RPC the checksum record is rewritten once per update (its running XOR
 aggregates make that O(1)), which is the paper's "slightly more, but
@@ -441,7 +443,8 @@ class EncryptedDocument(ABC):
         char_shift = 0  # current char pos - old char pos, ditto
 
         for cluster in clusters:
-            ra, rb, span_text = self._locate_span(cluster, char_shift)
+            ra, rb, old_metas = self._locate_span(cluster, char_shift)
+            span_text = "".join(meta.text for meta in old_metas)
             span_start = (
                 self._index.char_start(ra) - char_shift
                 if len(self._index)
@@ -451,12 +454,12 @@ class EncryptedDocument(ABC):
             chunks = blocks.chunk_text(new_text, self._block_chars)
 
             if not chunks and self._require_nonempty_span:
-                ra, rb, span_text, new_text = self._absorb_neighbor(
-                    ra, rb, span_text
+                ra, rb, old_metas, new_text = self._absorb_neighbor(
+                    ra, rb, old_metas
                 )
+                span_text = "".join(meta.text for meta in old_metas)
                 chunks = blocks.chunk_text(new_text, self._block_chars)
 
-            old_metas = [self._index.get(r)[0] for r in range(ra, rb)]
             next_lead = (
                 self._index.get(rb)[0].lead if rb < len(self._index) else None
             )
@@ -464,10 +467,9 @@ class EncryptedDocument(ABC):
             _BLOCKS_REENCRYPTED.inc(len(new_metas))
             _BLOCKS_REPACKED.inc(rb - ra)
 
-            for _ in range(rb - ra):
-                self._index.delete(ra)
-            for j, meta in enumerate(new_metas):
-                self._index.insert(ra + j, meta, len(meta.text))
+            self._index.splice(
+                ra, rb, ((meta, len(meta.text)) for meta in new_metas)
+            )
 
             ra_old = ra - rank_shift
             rb_old = rb - rank_shift
@@ -499,11 +501,13 @@ class EncryptedDocument(ABC):
 
     def _locate_span(
         self, cluster: _Cluster, char_shift: int
-    ) -> tuple[int, int, str]:
-        """Map a cluster's char span to the current block-rank range."""
+    ) -> tuple[int, int, list[BlockMeta]]:
+        """Map a cluster's char span to the current block-rank range,
+        returning the run's metas from one ``get_range`` walk instead of
+        a per-rank ``get`` loop."""
         size = len(self._index)
         if size == 0:
-            return 0, 0, ""
+            return 0, 0, []
         if cluster.lo == cluster.hi:  # pure insertion
             pos = cluster.lo + char_shift
             if pos >= self._index.total_chars:
@@ -515,22 +519,20 @@ class EncryptedDocument(ABC):
             ra, _ = self._index.find_char(cluster.lo + char_shift)
             rb_block, _ = self._index.find_char(cluster.hi - 1 + char_shift)
             rb = rb_block + 1
-        span_text = "".join(
-            self._index.get(r)[0].text for r in range(ra, rb)
-        )
-        return ra, rb, span_text
+        metas = [value for value, _ in self._index.get_range(ra, rb)]
+        return ra, rb, metas
 
     def _absorb_neighbor(
-        self, ra: int, rb: int, span_text: str
-    ) -> tuple[int, int, str, str]:
+        self, ra: int, rb: int, old_metas: list[BlockMeta]
+    ) -> tuple[int, int, list[BlockMeta], str]:
         """Extend an emptied span over one untouched neighbour so a chain
         splice always carries at least one block."""
         if rb < len(self._index):
-            neighbor = self._index.get(rb)[0].text
-            return ra, rb + 1, span_text + neighbor, neighbor
+            neighbor = self._index.get(rb)[0]
+            return ra, rb + 1, old_metas + [neighbor], neighbor.text
         if ra > 0:
-            neighbor = self._index.get(ra - 1)[0].text
-            return ra - 1, rb, neighbor + span_text, neighbor
+            neighbor = self._index.get(ra - 1)[0]
+            return ra - 1, rb, [neighbor] + old_metas, neighbor.text
         raise AssertionError(
             "document would become empty; handled by the rewrite path"
         )
@@ -603,12 +605,10 @@ class RecbDocument(EncryptedDocument):
             return ""
         first, offset = self._index.find_char(start)
         last, _ = self._index.find_char(end - 1)
-        pieces = []
-        for rank in range(first, last + 1):
-            meta = self._index.get(rank)[0]
-            pieces.append(
-                self._codec.decrypt_record(self._state, meta.record)
-            )
+        pieces = [
+            self._codec.decrypt_record(self._state, meta.record)
+            for meta, _ in self._index.get_range(first, last + 1)
+        ]
         text = "".join(pieces)
         return text[offset : offset + (end - start)]
 

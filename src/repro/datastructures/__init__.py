@@ -37,6 +37,11 @@ class BlockIndex(Protocol):
         """Return ``(value, width)`` of the block with ordinal ``rank``."""
         ...
 
+    def get_range(self, ra: int, rb: int) -> list[tuple[Any, int]]:  # pragma: no cover
+        """Return ``(value, width)`` for ranks ``[ra, rb)`` via one
+        descent plus an in-order walk."""
+        ...
+
     def char_start(self, rank: int) -> int:  # pragma: no cover
         """First character position covered by block ``rank``."""
         ...
@@ -51,6 +56,13 @@ class BlockIndex(Protocol):
 
     def delete(self, rank: int) -> tuple[Any, int]:  # pragma: no cover
         """Remove block ``rank``; return its ``(value, width)``."""
+        ...
+
+    def splice(
+        self, ra: int, rb: int, items: Iterable[tuple[Any, int]]
+    ) -> list[tuple[Any, int]]:  # pragma: no cover
+        """Replace the contiguous rank run ``[ra, rb)`` with ``items``
+        in one search-path walk; return the removed pairs."""
         ...
 
     def replace(self, rank: int, value: Any, width: int) -> None:  # pragma: no cover

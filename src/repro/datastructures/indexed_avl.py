@@ -25,6 +25,11 @@ __all__ = ["IndexedAVL"]
 #: shared with the skip list: nodes touched on any search/mutation path
 _NODE_VISITS = counter("index.node_visits")
 _SEARCHES = counter("index.searches")
+#: range operations (one split/join path amortized over a rank run)
+_SPLICES = counter("index.splices")
+#: in-order steps taken inside get_range/splice — O(k), deliberately
+#: separate from the O(log n) node_visits of the descents
+_RANGE_VISITS = counter("index.range_visits")
 _ROTATIONS = counter("index.avl.rotations")
 
 
@@ -96,6 +101,50 @@ def _balance(node: _Node) -> _Node:
             node.right = _rotate_right(node.right)
         return _rotate_left(node)
     return node
+
+
+def _join(left: _Node | None, pivot: _Node, right: _Node | None) -> _Node:
+    """Join ``left`` + ``pivot`` + ``right`` (all ranks in that order)
+    into one valid AVL in ``O(|h(left) - h(right)|)``.
+
+    ``pivot`` is a detached node; its old child pointers are ignored.
+    """
+    hl, hr = _h(left), _h(right)
+    if abs(hl - hr) <= 1:
+        pivot.left = left
+        pivot.right = right
+        _refresh(pivot)
+        return pivot
+    if hl > hr:
+        left.right = _join(left.right, pivot, right)
+        return _balance(left)
+    right.left = _join(left, pivot, right.left)
+    return _balance(right)
+
+
+def _join2(left: _Node | None, right: _Node | None) -> _Node | None:
+    """Join two trees with no pivot: the minimum of ``right`` serves."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    pivot_tree, rest = _split(right, 1)
+    assert pivot_tree is not None
+    pivot_tree.left = pivot_tree.right = None
+    return _join(left, pivot_tree, rest)
+
+
+def _split(node: _Node | None, count: int) -> tuple[_Node | None, _Node | None]:
+    """Split into (first ``count`` elements, the rest), both valid AVLs."""
+    if node is None:
+        return None, None
+    _NODE_VISITS.inc()
+    left_elems = _elems(node.left)
+    if count <= left_elems:
+        first, rest = _split(node.left, count)
+        return first, _join(rest, node, node.right)
+    first, rest = _split(node.right, count - left_elems - 1)
+    return _join(node.left, node, first), rest
 
 
 def _build_balanced(items: list, lo: int, hi: int) -> _Node | None:
@@ -201,7 +250,88 @@ class IndexedAVL:
                 node = node.right
         raise DataStructureError("char_start fell off the tree")
 
+    def get_range(self, ra: int, rb: int) -> list[tuple[Any, int]]:
+        """Return ``(value, width)`` for every block in ranks ``[ra, rb)``.
+
+        One descent to rank ``ra`` plus an in-order walk of ``rb - ra``
+        steps — versus ``rb - ra`` full descents for a :meth:`get` loop.
+        """
+        if not 0 <= ra <= rb <= len(self):
+            raise IndexError(
+                f"range [{ra}, {rb}) out of range [0, {len(self)}]"
+            )
+        count = rb - ra
+        if count == 0:
+            return []
+        _SEARCHES.inc()
+        out: list[tuple[Any, int]] = []
+        stack: list[_Node] = []
+        node = self._root
+        r = ra
+        visits = 0
+        while node is not None:
+            visits += 1
+            left = _elems(node.left)
+            if r < left:
+                stack.append(node)
+                node = node.left
+            elif r == left:
+                break
+            else:
+                r -= left + 1
+                node = node.right
+        _NODE_VISITS.inc(visits)
+        while node is not None and len(out) < count:
+            out.append((node.value, node.width))
+            if node.right is not None:
+                node = node.right
+                while node.left is not None:
+                    stack.append(node)
+                    node = node.left
+            else:
+                node = stack.pop() if stack else None
+        _RANGE_VISITS.inc(count)
+        return out
+
     # -- mutations ------------------------------------------------------
+
+    def splice(
+        self, ra: int, rb: int, items: "Iterable[tuple[Any, int]]"
+    ) -> list[tuple[Any, int]]:
+        """Replace ranks ``[ra, rb)`` with ``items``; return the removed
+        ``(value, width)`` pairs.
+
+        Implemented join-style: split out the doomed run, build a
+        perfectly balanced subtree over the replacements, and join the
+        three parts back — ``O(log n + k + m)``, one rebalance path per
+        split/join instead of ``rb - ra`` deletes plus ``m`` inserts.
+        """
+        if not 0 <= ra <= rb <= len(self):
+            raise IndexError(
+                f"range [{ra}, {rb}) out of range [0, {len(self)}]"
+            )
+        items = list(items)
+        for _, width in items:
+            if width < 0:
+                raise DataStructureError(f"width must be >= 0, got {width}")
+        _SPLICES.inc()
+        _SEARCHES.inc()
+        left, rest = _split(self._root, ra)
+        doomed, right = _split(rest, rb - ra)
+        removed: list[tuple[Any, int]] = []
+        stack: list[_Node] = []
+        node = doomed
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            removed.append((node.value, node.width))
+            node = node.right
+        _RANGE_VISITS.inc(len(removed))
+        middle = _build_balanced(items, 0, len(items))
+        self._root = _join2(_join2(left, middle), right)
+        return removed
 
     def insert(self, rank: int, value: Any, width: int) -> None:
         """Insert a block so that it acquires ordinal ``rank``."""

@@ -38,6 +38,11 @@ _MAX_LEVEL = 32
 #: O(log n) claim for Algorithm 1, made countable
 _NODE_VISITS = counter("index.node_visits")
 _SEARCHES = counter("index.searches")
+#: range operations (one descent amortized over a whole rank run)
+_SPLICES = counter("index.splices")
+#: level-0 steps taken inside get_range/splice — O(k), deliberately
+#: separate from the O(log n) node_visits of the descents
+_RANGE_VISITS = counter("index.range_visits")
 _LIST_LEVEL = gauge("index.skiplist.level")
 
 
@@ -192,7 +197,132 @@ class IndexedSkipList:
         _, ranks, cends = self._predecessors(rank)
         return cends[0]
 
+    def get_range(self, ra: int, rb: int) -> list[tuple[Any, int]]:
+        """Return ``(value, width)`` for every block in ranks ``[ra, rb)``.
+
+        One ``O(log n)`` descent to rank ``ra`` plus a level-0 walk of
+        ``rb - ra`` steps — versus ``rb - ra`` full descents for the
+        equivalent :meth:`get` loop.
+        """
+        if not 0 <= ra <= rb <= self._size:
+            raise IndexError(
+                f"range [{ra}, {rb}) out of range [0, {self._size}]"
+            )
+        if ra == rb:
+            return []
+        update, _, _ = self._predecessors(ra)
+        out: list[tuple[Any, int]] = []
+        node = update[0].forward[0]
+        for _ in range(rb - ra):
+            assert node is not None
+            out.append((node.value, node.width))
+            node = node.forward[0]
+        _RANGE_VISITS.inc(rb - ra)
+        return out
+
     # -- mutations ---------------------------------------------------------
+
+    def splice(
+        self, ra: int, rb: int, items: Iterable[tuple[Any, int]]
+    ) -> list[tuple[Any, int]]:
+        """Replace ranks ``[ra, rb)`` with ``items``; return the removed
+        ``(value, width)`` pairs.
+
+        One predecessor-array walk serves the whole operation: the dead
+        run is unlinked level by level along the existing pointers
+        (``O(k)`` extra steps, counted in ``index.range_visits``) and the
+        new nodes are threaded in ``extend``-style from the same
+        predecessor state — no per-rank searches, unlike the equivalent
+        ``(rb - ra)`` ``delete`` calls plus ``m`` ``insert`` calls.
+        """
+        if not 0 <= ra <= rb <= self._size:
+            raise IndexError(
+                f"range [{ra}, {rb}) out of range [0, {self._size}]"
+            )
+        items = list(items)
+        for _, width in items:
+            if width < 0:
+                raise DataStructureError(f"width must be >= 0, got {width}")
+        _SPLICES.inc()
+        update, ranks, cends = self._predecessors(ra)
+
+        # Unlink the dead run [ra, rb).  Each level's pointers are fixed
+        # by walking only the dead nodes linked at that level, so total
+        # work is O(k) expected beyond the one descent above.
+        removed: list[tuple[Any, int]] = []
+        dead_ids: set[int] = set()
+        walk_steps = 0
+        node = update[0].forward[0]
+        removed_chars = 0
+        for _ in range(rb - ra):
+            assert node is not None
+            removed.append((node.value, node.width))
+            removed_chars += node.width
+            dead_ids.add(id(node))
+            node = node.forward[0]
+            walk_steps += 1
+        if dead_ids:
+            k = rb - ra
+            for i in range(self._level):
+                pred = update[i]
+                span_e = pred.span_elems[i]
+                span_c = pred.span_chars[i]
+                nxt = pred.forward[i]
+                while nxt is not None and id(nxt) in dead_ids:
+                    span_e += nxt.span_elems[i]
+                    span_c += nxt.span_chars[i]
+                    nxt = nxt.forward[i]
+                    walk_steps += 1
+                pred.forward[i] = nxt
+                pred.span_elems[i] = span_e - k
+                pred.span_chars[i] = span_c - removed_chars
+            self._size -= k
+            self._chars -= removed_chars
+        _RANGE_VISITS.inc(walk_steps)
+
+        # Thread the replacement nodes in, reusing the predecessor state
+        # (still valid: every removed rank was >= ra > each pred's rank).
+        last_node: list[_Node] = list(update)
+        last_rank: list[int] = list(ranks)
+        last_cend: list[int] = list(cends)
+        rank = ra
+        cstart = cends[0]
+        for value, width in items:
+            level = self._random_level()
+            if level > self._level:
+                for i in range(self._level, level):
+                    self._head.span_elems[i] = self._size
+                    self._head.span_chars[i] = self._chars
+                    self._head.forward[i] = None
+                    last_node.append(self._head)
+                    last_rank.append(-1)
+                    last_cend.append(0)
+                self._level = level
+            node = _Node(value, width, level)
+            end_new = cstart + width
+            for i in range(level):
+                pred = last_node[i]
+                node.forward[i] = pred.forward[i]
+                node.span_elems[i] = last_rank[i] + pred.span_elems[i] + 1 - rank
+                node.span_chars[i] = last_cend[i] + pred.span_chars[i] - cstart
+                pred.forward[i] = node
+                pred.span_elems[i] = rank - last_rank[i]
+                pred.span_chars[i] = end_new - last_cend[i]
+                last_node[i] = node
+                last_rank[i] = rank
+                last_cend[i] = end_new
+            for i in range(level, self._level):
+                last_node[i].span_elems[i] += 1
+                last_node[i].span_chars[i] += width
+            self._size += 1
+            self._chars += width
+            rank += 1
+            cstart = end_new
+
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        _LIST_LEVEL.set(self._level)
+        return removed
 
     def insert(self, rank: int, value: Any, width: int) -> None:
         """Insert a block so that it acquires ordinal ``rank``."""

@@ -50,6 +50,12 @@ class ReferenceIndex:
             raise IndexError(f"rank {rank} out of range")
         return sum(width for _, width in self._items[:rank])
 
+    def get_range(self, ra: int, rb: int) -> list[tuple[Any, int]]:
+        """Return ``(value, width)`` for every block in ranks ``[ra, rb)``."""
+        if not 0 <= ra <= rb <= len(self._items):
+            raise IndexError(f"range [{ra}, {rb}) out of range")
+        return self._items[ra:rb]
+
     def insert(self, rank: int, value: Any, width: int) -> None:
         """Insert a block so that it acquires ordinal ``rank``."""
         if width < 0:
@@ -57,6 +63,19 @@ class ReferenceIndex:
         if not 0 <= rank <= len(self._items):
             raise IndexError(f"rank {rank} out of range")
         self._items.insert(rank, (value, width))
+
+    def splice(self, ra: int, rb: int, items) -> list[tuple[Any, int]]:
+        """Replace ranks ``[ra, rb)`` with ``items``; return the removed
+        ``(value, width)`` pairs."""
+        if not 0 <= ra <= rb <= len(self._items):
+            raise IndexError(f"range [{ra}, {rb}) out of range")
+        items = list(items)
+        for _, width in items:
+            if width < 0:
+                raise DataStructureError(f"width must be >= 0, got {width}")
+        removed = self._items[ra:rb]
+        self._items[ra:rb] = items
+        return removed
 
     def delete(self, rank: int) -> tuple[Any, int]:
         """Remove block ``rank``; return its ``(value, width)``."""

@@ -9,9 +9,20 @@ in form bodies and is case-stable.
 ``encode``/``decode`` are padding-optional because the wire format
 (:mod:`repro.encoding.wire`) packs fixed-length records and padding
 characters would waste width.
+
+Every wire record crosses this codec twice, so the hot paths are
+C-speed: :func:`encode` delegates to :func:`base64.b32encode` and
+:func:`decode` maps the text to base-32 digits with ``str.translate``
+and converts with one ``int(s, 32)``.  The original per-byte scalar
+routines are kept as ``_encode_scalar``/``_decode_scalar`` — they are
+the executable spec the fast paths are cross-checked against in tests,
+and the decode fallback that reproduces exact per-character error
+messages for invalid input.
 """
 
 from __future__ import annotations
+
+import base64
 
 from repro.errors import CiphertextFormatError
 
@@ -23,6 +34,12 @@ _TAIL_CHARS = {0: 0, 1: 2, 2: 4, 3: 5, 4: 7}
 _TAIL_BYTES = {chars: nbytes for nbytes, chars in _TAIL_CHARS.items() if chars}
 _TAIL_BYTES[8] = 5
 
+#: ``int(s, 32)`` digit alphabet, aligned index-for-index with ALPHABET
+_INT_DIGITS = "0123456789abcdefghijklmnopqrstuv"
+_TO_INT_DIGITS = str.maketrans(ALPHABET, _INT_DIGITS)
+#: translate-delete table: valid characters vanish, leaving offenders
+_DROP_VALID = {ord(ch): None for ch in ALPHABET}
+
 
 def encoded_length(nbytes: int) -> int:
     """Length in characters of the unpadded encoding of ``nbytes`` bytes."""
@@ -31,6 +48,32 @@ def encoded_length(nbytes: int) -> int:
 
 def encode(data: bytes, pad: bool = False) -> str:
     """Base32-encode ``data``; append ``=`` padding only if ``pad``."""
+    text = base64.b32encode(data).decode("ascii")
+    return text if pad else text.rstrip("=")
+
+
+def decode(text: str) -> bytes:
+    """Decode Base32 ``text`` (padded or not) back to bytes."""
+    text = text.rstrip("=")
+    if not text:
+        return b""
+    tail = len(text) % 8
+    if tail and tail not in _TAIL_BYTES:
+        return _decode_scalar(text)  # exact tail-length error
+    if text.translate(_DROP_VALID):
+        return _decode_scalar(text)  # exact invalid-character error
+    nbytes = (len(text) // 8) * 5 + (_TAIL_BYTES[tail] if tail else 0)
+    value = int(text.translate(_TO_INT_DIGITS), 32)
+    # Non-canonical trailing bits indicate corruption or splicing at a
+    # non-record boundary; reject rather than silently truncate.
+    tail_bits = 5 * len(text) - 8 * nbytes
+    if value & ((1 << tail_bits) - 1):
+        raise CiphertextFormatError("non-canonical base32 tail bits")
+    return (value >> tail_bits).to_bytes(nbytes, "big")
+
+
+def _encode_scalar(data: bytes, pad: bool = False) -> str:
+    """Reference per-chunk encoder (the fast path's executable spec)."""
     out: list[str] = []
     for start in range(0, len(data), 5):
         chunk = data[start : start + 5]
@@ -43,8 +86,8 @@ def encode(data: bytes, pad: bool = False) -> str:
     return "".join(out)
 
 
-def decode(text: str) -> bytes:
-    """Decode Base32 ``text`` (padded or not) back to bytes."""
+def _decode_scalar(text: str) -> bytes:
+    """Reference per-chunk decoder; also the error-reporting fallback."""
     text = text.rstrip("=")
     out = bytearray()
     for start in range(0, len(text), 8):

@@ -103,7 +103,7 @@ class GDocsServer:
     def _stored_bytes(self) -> int:
         """Total characters currently held by the store (gauge value)."""
         return sum(
-            len(self.store.get(doc_id).content)
+            self.store.get(doc_id).length
             for doc_id in self.store.doc_ids()
         )
 

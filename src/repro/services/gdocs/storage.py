@@ -8,16 +8,25 @@ and this store behaves exactly that way.
 Two deliberately adversarial details are modelled because the paper's
 threat analysis depends on them:
 
-* **revision history** — the server keeps every prior version (the
-  paper cites Google Docs leaking information about previous versions
-  [1]); the honest-but-curious adversary gets to read it;
+* **revision history** — the server keeps prior versions (the paper
+  cites Google Docs leaking information about previous versions [1]);
+  the honest-but-curious adversary gets to read it.  Retention is
+  capped at :attr:`StoredDocument.max_history` revisions; older ones
+  are compacted away and ``deltas_since`` reports them unmergeable;
 * **quota** — Google enforced a maximum file size of 500 kB, which is
   why ciphertext blow-up matters (SV-C).
+
+Storage is a :class:`~repro.services.gdocs.pieces.PieceTable`, so an
+incremental save costs O(delta ops + pieces touched) rather than a full
+O(document) string rebuild, and each history entry is an O(pieces)
+snapshot that only materializes to a string if somebody reads it.
+``content`` remains an exact plain-string view for every existing
+caller (including tests and adversaries that *assign* to it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Iterator, Union
 
 from repro.core.delta import Delta
 from repro.errors import (
@@ -25,41 +34,175 @@ from repro.errors import (
     ProtocolError,
     QuotaExceededError,
 )
+from repro.services.gdocs.pieces import PieceSnapshot, PieceTable
 
-__all__ = ["MAX_DOCUMENT_CHARS", "StoredDocument", "DocumentStore"]
+__all__ = [
+    "MAX_DOCUMENT_CHARS",
+    "DEFAULT_MAX_HISTORY",
+    "RevisionHistory",
+    "StoredDocument",
+    "DocumentStore",
+]
 
 #: Google's 2011 cap: 500 kilobytes of stored document text
 MAX_DOCUMENT_CHARS = 500_000
 
+#: revisions retained per document before the oldest are compacted
+DEFAULT_MAX_HISTORY = 256
 
-@dataclass
+_HistoryEntry = Union[str, PieceSnapshot]
+
+
+class RevisionHistory:
+    """Prior document versions, materialized to strings only on read.
+
+    Behaves like the ``list[str]`` it replaced: indexing (including
+    negative indexes and slices), iteration, ``len``, equality against
+    plain lists, and ``append`` (adversaries push raw strings) all
+    work.  Internally each entry is either a string or a lazy
+    :class:`PieceSnapshot`, so committing a revision never copies the
+    document text.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: list[_HistoryEntry] = []
+
+    @staticmethod
+    def _text(entry: _HistoryEntry) -> str:
+        return entry if isinstance(entry, str) else entry.materialize()
+
+    def append(self, text: str) -> None:
+        """Push a raw version string (the tampering path)."""
+        self._entries.append(text)
+
+    def _append_snapshot(self, snapshot: PieceSnapshot) -> None:
+        self._entries.append(snapshot)
+
+    def _drop_oldest(self, count: int) -> None:
+        del self._entries[:count]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return (self._text(entry) for entry in list(self._entries))
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return [self._text(entry) for entry in self._entries[key]]
+        return self._text(self._entries[key])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RevisionHistory):
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"RevisionHistory({list(self)!r})"
+
+
 class StoredDocument:
     """One document as the server sees it (possibly ciphertext)."""
 
-    doc_id: str
-    content: str = ""
-    revision: int = 0
-    history: list[str] = field(default_factory=list)
-    #: per committed revision, the delta that produced it (None = full
-    #: save); consumed by the merging server's transform path
-    ops_log: list[str | None] = field(default_factory=list)
+    __slots__ = ("doc_id", "revision", "history", "ops_log", "max_history",
+                 "history_floor", "_table")
+
+    def __init__(self, doc_id: str, content: str = "",
+                 max_history: int = DEFAULT_MAX_HISTORY):
+        self.doc_id = doc_id
+        self.revision = 0
+        self.history = RevisionHistory()
+        #: per retained revision, the delta that produced it (None = full
+        #: save); consumed by the merging server's transform path
+        self.ops_log: list[str | None] = []
+        self.max_history = max_history
+        #: oldest revision whose commit record is still retained —
+        #: everything below it has been compacted away
+        self.history_floor = 0
+        self._table = PieceTable(content)
+
+    # -- content views ---------------------------------------------------
+
+    @property
+    def content(self) -> str:
+        """The current document text, exactly as submitted."""
+        return self._table.materialize()
+
+    @content.setter
+    def content(self, text: str) -> None:
+        # Direct assignment (active tampering, test fixtures) bypasses
+        # commit bookkeeping, same as mutating the old dataclass field.
+        self._table.reset(text)
+
+    @property
+    def length(self) -> int:
+        """Current document length in characters, without materializing."""
+        return self._table.length
+
+    # -- commits ---------------------------------------------------------
 
     def _commit(self, new_content: str, op: str | None = None) -> None:
+        """Full replace: the ``docContents`` save path."""
         if len(new_content) > MAX_DOCUMENT_CHARS:
             raise QuotaExceededError(
                 f"document {self.doc_id!r} would be {len(new_content)} "
                 f"chars; limit is {MAX_DOCUMENT_CHARS}"
             )
-        self.history.append(self.content)
+        self.history._append_snapshot(self._table.snapshot())
         self.ops_log.append(op)
-        self.content = new_content
+        self._table.reset(new_content)
         self.revision += 1
+        self._compact()
+
+    def apply_delta(self, delta_text: str) -> None:
+        """Incremental save: splice ``delta_text`` into the piece table.
+
+        O(delta ops + pieces touched) — the stored text is never
+        rebuilt as a string.  Raises
+        :class:`~repro.errors.DeltaSyntaxError` /
+        :class:`~repro.errors.DeltaApplicationError` for malformed or
+        ill-fitting deltas and :class:`QuotaExceededError` (with the
+        document left unchanged) when the result would exceed quota.
+        """
+        delta = Delta.parse(delta_text)
+        before = self._table.snapshot()
+        delta.apply(self._table)
+        if self._table.length > MAX_DOCUMENT_CHARS:
+            would_be = self._table.length
+            self._table.restore(before)
+            raise QuotaExceededError(
+                f"document {self.doc_id!r} would be {would_be} "
+                f"chars; limit is {MAX_DOCUMENT_CHARS}"
+            )
+        self.history._append_snapshot(before)
+        self.ops_log.append(delta_text)
+        self.revision += 1
+        self._compact()
+
+    def _compact(self) -> None:
+        if self.max_history is None:
+            return
+        excess = len(self.history) - self.max_history
+        if excess > 0:
+            self.history._drop_oldest(excess)
+            del self.ops_log[:excess]
+            self.history_floor += excess
 
     def deltas_since(self, revision: int) -> list[str] | None:
         """Deltas that took ``revision`` to the current revision, or
-        None if a full save intervened (transforming past it is
-        impossible)."""
-        window = self.ops_log[revision:]
+        None when transforming past them is impossible — a full save
+        intervened, or ``revision`` predates the history floor (its
+        commit records were compacted away)."""
+        if revision < self.history_floor:
+            return None
+        window = self.ops_log[revision - self.history_floor:]
         if any(op is None for op in window):
             return None
         return list(window)
@@ -113,10 +256,9 @@ class DocumentStore:
         """
         doc = self.get(doc_id)
         try:
-            new_content = Delta.parse(delta_text).apply(doc.content)
+            doc.apply_delta(delta_text)
         except DeltaApplicationError as exc:
             raise ProtocolError(f"delta does not fit document: {exc}") from exc
-        doc._commit(new_content, op=delta_text)
         return doc
 
     def doc_ids(self) -> list[str]:

@@ -71,7 +71,27 @@ class IndexAgreement(RuleBasedStateMachine):
         for s in self.structs:
             s.replace(rank, value, width)
 
+    @rule(data=st.data(), count=st.integers(0, 5), width=WIDTHS)
+    def splice(self, data, count, width):
+        ra = data.draw(st.integers(0, len(self.ref)), label="ra")
+        rb = data.draw(st.integers(ra, len(self.ref)), label="rb")
+        items = []
+        for _ in range(count):
+            items.append((self.counter, width))
+            self.counter += 1
+        want = self.ref.splice(ra, rb, items)
+        for s in self.structs:
+            assert s.splice(ra, rb, items) == want
+
     # -- queries ---------------------------------------------------------
+
+    @rule(data=st.data())
+    def get_range(self, data):
+        ra = data.draw(st.integers(0, len(self.ref)), label="ra")
+        rb = data.draw(st.integers(ra, len(self.ref)), label="rb")
+        want = self.ref.get_range(ra, rb)
+        for s in self.structs:
+            assert list(s.get_range(ra, rb)) == want
 
     @precondition(lambda self: self.ref.total_chars > 0)
     @rule(data=st.data())

@@ -57,3 +57,44 @@ class TestStrictness:
     def test_empty(self):
         assert base32.decode("") == b""
         assert base32.encode(b"") == ""
+
+
+class TestFastPathAgainstScalar:
+    """The translate/int fast paths vs the scalar reference routines.
+
+    ``encode``/``decode`` now run through ``base64.b32encode`` and a
+    ``str.translate`` + ``int(s, 32)`` conversion; the original
+    per-byte loops survive as ``_encode_scalar``/``_decode_scalar`` and
+    define the expected behavior bit for bit — including which error a
+    malformed input raises.
+    """
+
+    @pytest.mark.parametrize("pad", [False, True])
+    def test_encode_matches_scalar(self, pad):
+        for n in list(range(0, 41)) + [100, 1000]:
+            data = os.urandom(n)
+            assert base32.encode(data, pad=pad) == \
+                base32._encode_scalar(data, pad=pad)
+
+    def test_decode_matches_scalar_on_valid_input(self):
+        for n in list(range(0, 41)) + [100, 1000]:
+            data = os.urandom(n)
+            for pad in (False, True):
+                text = base32.encode(data, pad=pad)
+                assert base32.decode(text) == data
+                assert base32._decode_scalar(text) == data
+
+    @pytest.mark.parametrize("text", [
+        "A", "ABC", "ABCDEF",            # impossible tail lengths
+        "AAAAAAAAA", "AAAAAAAAABC",      # ... after a full chunk
+        "ABC1", "abcd", "MZXW6YT!",      # characters outside A-Z2-7
+        "AAAA_AAA", "+AAAAAAA", " AAAAAAA",  # int()-friendly junk the
+        "BB", "MZXR",                    # fast path must still reject
+        "AAAAAAAABB",                    # bad tail bits after full chunk
+    ])
+    def test_error_parity_with_scalar(self, text):
+        with pytest.raises(CiphertextFormatError) as fast:
+            base32.decode(text)
+        with pytest.raises(CiphertextFormatError) as scalar:
+            base32._decode_scalar(text)
+        assert str(fast.value) == str(scalar.value)

@@ -1,0 +1,144 @@
+"""Piece-table store: string equivalence, atomicity, history cap.
+
+The gdocs server now stores each document as a
+:class:`~repro.services.gdocs.pieces.PieceTable` and applies deltas by
+splicing pieces instead of rebuilding the content string.  These tests
+pin the two load-bearing claims: (1) the piece-table apply path is
+*observationally identical* to ``Delta.apply`` on a plain string, under
+arbitrary random edit histories and across flattens; (2) the
+:class:`StoredDocument` history cap compacts old revisions without
+perturbing anything a client (or adversary) can still reach.
+"""
+
+import random
+
+import pytest
+
+from repro.core.delta import Delta
+from repro.errors import DeltaApplicationError, QuotaExceededError
+from repro.services.gdocs.pieces import PieceTable
+from repro.services.gdocs.storage import (
+    MAX_DOCUMENT_CHARS,
+    DocumentStore,
+    StoredDocument,
+)
+
+
+def random_delta(rng, length):
+    """A small random replacement delta valid for a ``length``-char doc."""
+    pos = rng.randrange(length + 1)
+    ndel = min(rng.randrange(0, 6), length - pos)
+    ins = "".join(rng.choice("xyzw \t%") for _ in range(rng.randrange(0, 6)))
+    ops = []
+    if pos:
+        ops.append(f"={pos}")
+    if ndel:
+        ops.append(f"-{ndel}")
+    if ins:
+        ops.append("+" + ins.replace("%", "%25").replace("\t", "%09"))
+    return Delta.parse("\t".join(ops))
+
+
+class TestPieceTableEquivalence:
+    # 1500 chars stays on the flat small-document path; 20000 exceeds
+    # SMALL_DOC_CHARS and exercises the real piece-splicing walk
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("size,flatten_at,rounds", [
+        (1_500, 512, 300), (20_000, 4, 120), (20_000, 512, 120),
+    ])
+    def test_random_histories_match_string_apply(self, seed, size,
+                                                 flatten_at, rounds):
+        rng = random.Random(seed)
+        text = "".join(rng.choice("abcdef \n") for _ in range(size))
+        table = PieceTable(text, flatten_at=flatten_at)
+        for _ in range(rounds):
+            delta = random_delta(rng, len(text))
+            text = delta.apply(text)
+            delta.apply(table)  # duck-typed piece-table target
+            assert table.length == len(text)
+        assert table.materialize() == text
+        assert table.piece_count <= flatten_at + 1
+
+    @pytest.mark.parametrize("size", [11, 20_000])
+    def test_failed_delta_leaves_table_unchanged(self, size):
+        text = "hello world" * (size // 11)
+        table = PieceTable(text)
+        with pytest.raises(DeltaApplicationError):
+            Delta.parse(f"={len(text) - 5}\t-99").apply(table)
+        assert table.materialize() == text
+        assert table.length == len(text)
+
+    def test_snapshots_survive_later_edits_and_flattens(self):
+        table = PieceTable("hello", flatten_at=2)
+        snapshots = [table.snapshot()]
+        for i in range(10):
+            Delta.parse(f"+{i}").apply(table)
+            snapshots.append(table.snapshot())
+        assert snapshots[0].materialize() == "hello"
+        assert snapshots[3].materialize() == "210hello"
+        assert snapshots[-1].materialize() == table.materialize()
+
+    def test_snapshots_on_the_piece_path(self):
+        rng = random.Random(9)
+        text = "abcdefgh" * 3000  # 24k chars: piece path
+        table = PieceTable(text, flatten_at=8)
+        expect = [text]
+        snapshots = [table.snapshot()]
+        for _ in range(40):
+            delta = random_delta(rng, len(text))
+            text = delta.apply(text)
+            delta.apply(table)
+            expect.append(text)
+            snapshots.append(table.snapshot())
+        for want, snap in zip(expect, snapshots):
+            assert snap.materialize() == want
+
+
+class TestHistoryCap:
+    def test_old_revisions_are_compacted(self):
+        doc = StoredDocument("d", max_history=5)
+        for i in range(12):
+            doc.apply_delta(f"+{i}")
+        assert doc.revision == 12
+        assert len(doc.history) == 5
+        assert doc.history_floor == 7
+
+    def test_deltas_since_returns_none_below_the_floor(self):
+        doc = StoredDocument("d", max_history=5)
+        for i in range(12):
+            doc.apply_delta(f"+{i}")
+        assert doc.deltas_since(6) is None  # compacted away
+        assert doc.deltas_since(doc.history_floor) == \
+            ["+7", "+8", "+9", "+10", "+11"]
+        assert doc.deltas_since(10) == ["+10", "+11"]
+        assert doc.deltas_since(12) == []
+
+    def test_full_save_still_breaks_the_delta_chain(self):
+        doc = StoredDocument("d", max_history=100)
+        doc.apply_delta("+a")
+        doc._commit("fresh")
+        doc.apply_delta("+b")
+        assert doc.deltas_since(0) is None  # full save in the window
+        assert doc.deltas_since(2) == ["+b"]
+
+    def test_history_entries_materialize_like_the_old_strings(self):
+        doc = StoredDocument("d")
+        doc._commit("v0")
+        doc._commit("v1")
+        assert doc.history == ["", "v0"]
+        assert doc.history[-1] == "v0"
+        assert list(doc.history) == ["", "v0"]
+        assert doc.content == "v1"
+
+
+class TestQuotaAtomicity:
+    def test_over_quota_delta_rolls_back_completely(self):
+        store = DocumentStore()
+        store.create("d", "x" * (MAX_DOCUMENT_CHARS - 2))
+        store.apply_delta("d", "+ab")  # lands exactly on the limit
+        doc = store.get("d")
+        with pytest.raises(QuotaExceededError, match="would be 500001"):
+            store.apply_delta("d", "+y")
+        assert doc.length == MAX_DOCUMENT_CHARS
+        assert doc.revision == 1
+        assert doc.content.startswith("ab")
