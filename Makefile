@@ -3,25 +3,31 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke bench bench-edits figures examples all clean
+.PHONY: install test metrics-smoke docs-check bench bench-edits bench-faults figures examples all clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: metrics-smoke
-	$(PYTHON) -m pytest tests/
+test: metrics-smoke docs-check
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 metrics-smoke:    ## end-to-end check of the repro.obs pipeline + sidecar schema
 	PYTHONPATH=src $(PYTHON) benchmarks/metrics_smoke.py
 
+docs-check:       ## verify docs citations (metrics, module paths, files) against source
+	$(PYTHON) tools/docs_check.py
+
 bench:            ## timings only (shape assertions skipped)
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-edits:      ## edit-throughput sweep -> BENCH_edit_throughput.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_edit_throughput.py
 
+bench-faults:     ## fault-rate sweep -> BENCH_faults.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py
+
 figures:          ## timings + qualitative shape assertions + tables
-	$(PYTHON) -m pytest benchmarks/
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,182 @@
+"""Fault tolerance under load — edits/sec and retries vs fault rate.
+
+The resilience machinery (``repro.net.faults`` + ``repro.net.policy``)
+is only worth its complexity if (a) a fault-free session pays almost
+nothing for it and (b) a faulty session degrades gracefully — retries
+and resyncs, not lost edits.  This benchmark drives a resilient
+:class:`PrivateEditingSession` through the same edit script at fault
+rates 0% / 1% / 5% / 20% and reports
+
+* sustained edits/sec (wall-clock, includes retry work),
+* retries, injected faults, resyncs, and idempotent replays straight
+  from the obs registry,
+* whether the session **converged** (stored ciphertext decrypts to the
+  user's final text) — which must be True at every rate.
+
+Run as a script (``make bench-faults``) it writes the
+``BENCH_faults.json`` sidecar at the repo root, preserving the first
+recorded run as ``baseline`` (same convention as
+``BENCH_edit_throughput.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.core.transform import EncryptionEngine
+from repro.crypto.random import DeterministicRandomSource
+from repro.extension.session import PrivateEditingSession
+from repro.net.faults import FaultPlan, updates_only
+from repro.net.policy import RetryPolicy
+from repro.obs import capture
+from repro.workloads.text import make_text
+
+SCHEMA = "repro.bench.faults/v1"
+SIDECAR = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_faults.json"
+
+#: per-exchange fault probability per kind, the sweep of the issue
+RATES = (0.0, 0.01, 0.05, 0.20)
+SCHEME = "rpc"
+SEED = 20110613  # the paper's year+venue, fixed forever
+
+
+def _session(rate: float, edits: int) -> tuple[PrivateEditingSession,
+                                               FaultPlan]:
+    plan = FaultPlan.uniform(rate, seed=SEED, match=updates_only)
+    session = PrivateEditingSession(
+        f"bench-{rate}", "bench-password", scheme=SCHEME,
+        faults=plan, retry_policy=RetryPolicy(seed=SEED),
+        verify_acks=True, rng=DeterministicRandomSource(SEED),
+    )
+    return session, plan
+
+
+def _run_rate(rate: float, edits: int) -> dict[str, float | bool]:
+    """One measured session: ``edits`` edit+save rounds at ``rate``."""
+    session, plan = _session(rate, edits)
+    rng = random.Random(SEED + int(rate * 1000))
+    session.open()
+    session.client.editor.set_text(make_text(2_000, rng))
+    failures = 0
+    with capture() as cap:
+        t0 = time.perf_counter()
+        if not session.save().ok:
+            failures += 1
+        for _ in range(edits):
+            length = len(session.text)
+            ncut = rng.randint(0, 8)
+            pos = rng.randrange(max(1, length - ncut))
+            session.delete_text(pos, min(ncut, length - pos))
+            session.type_text(pos, "y" * rng.randint(1, 10))
+            if not session.save().ok:
+                failures += 1
+        plan.quiesce()
+        if not session.save().ok:
+            failures += 1
+        elapsed = time.perf_counter() - t0
+    recovered = EncryptionEngine(
+        password="bench-password", scheme=SCHEME
+    ).decrypt(session.server_view())
+    return {
+        "edits_per_sec": round(edits / elapsed, 1),
+        "faults_injected": cap["net.faults.injected"],
+        "retries": cap["client.retries.attempts"],
+        "timeouts": cap["client.retries.timeouts"],
+        "resyncs": cap["client.resyncs"],
+        "idem_replays": cap["extension.idem_replays"],
+        "dedup_hits": cap["services.gdocs.dedup_hits"],
+        "save_failures": failures,
+        "converged": recovered == session.text,
+    }
+
+
+def run_suite(edits: int = 60) -> dict[str, dict]:
+    """The rate sweep; keys are percent labels ("rate=5%")."""
+    return {
+        f"rate={rate:.0%}": _run_rate(rate, edits) for rate in RATES
+    }
+
+
+def write_sidecar(results: dict) -> dict:
+    """Write BENCH_faults.json, preserving the first-ever run as the
+    ``baseline`` later sessions compare against."""
+    baseline = None
+    if SIDECAR.exists():
+        previous = json.loads(SIDECAR.read_text())
+        baseline = previous.get("baseline") or previous.get("current")
+    payload = {
+        "schema": SCHEMA,
+        "unit": "edits/sec (plus obs-registry fault/retry counts)",
+        "scheme": SCHEME,
+        "seed": SEED,
+        "baseline": baseline,
+        "current": results,
+    }
+    SIDECAR.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+# -- pytest mode (collected with the other bench_* figures) --------------
+
+def _register(results: dict) -> None:
+    from conftest import register_table
+    from repro.bench import render_table
+
+    rows = [
+        [label,
+         f"{row['edits_per_sec']:.0f} edits/s",
+         f"{row['faults_injected']:.0f}",
+         f"{row['retries']:.0f}",
+         f"{row['resyncs']:.0f}",
+         "yes" if row["converged"] else "NO"]
+        for label, row in results.items()
+    ]
+    register_table("faults", render_table(
+        ["fault rate", "throughput", "injected", "retries", "resyncs",
+         "converged"],
+        rows,
+        title="Fault tolerance - resilient session under uniform chaos",
+    ))
+
+
+import pytest  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def fault_sweep():
+    results = run_suite(edits=30)
+    _register(results)
+    return results
+
+
+class TestFaultSweep:
+    def test_converges_at_every_rate(self, fault_sweep):
+        for label, row in fault_sweep.items():
+            assert row["converged"], label
+
+    def test_clean_rate_injects_nothing(self, fault_sweep):
+        clean = fault_sweep["rate=0%"]
+        assert clean["faults_injected"] == 0
+        assert clean["retries"] == 0
+        assert clean["save_failures"] == 0
+
+    def test_faulty_rates_actually_fault_and_retry(self, fault_sweep):
+        worst = fault_sweep["rate=20%"]
+        assert worst["faults_injected"] > 0
+        assert worst["retries"] > 0
+
+    def test_throughput_positive_everywhere(self, fault_sweep):
+        for label, row in fault_sweep.items():
+            assert row["edits_per_sec"] > 0, label
+
+
+if __name__ == "__main__":
+    suite = run_suite()
+    payload = write_sidecar(suite)
+    json.dump(payload, sys.stdout, indent=2)
+    print()

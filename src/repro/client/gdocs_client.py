@@ -10,6 +10,15 @@ The client is oblivious to the extension: it always operates on
 plaintext and never knows whether a mediator rewrote its traffic.  That
 obliviousness is requirement 2 of the paper ("requires no cooperation
 from the application provider").
+
+Fault tolerance (beyond the paper): constructed with a
+:class:`repro.net.policy.RetryPolicy`, the client retries timed-out and
+429/5xx saves under that policy, stamps every save with an idempotency
+key (so a replay of an already-processed save is deduplicated by the
+server rather than re-applied), and recovers from revision conflicts by
+re-fetching the document and rebasing its pending local edits over the
+server's state.  Without a policy the behaviour is exactly the legacy
+one: any failed exchange raises.
 """
 
 from __future__ import annotations
@@ -18,36 +27,73 @@ from dataclasses import dataclass, field
 
 from repro.client.editor import EditorBuffer
 from repro.core.delta import Delta
-from repro.errors import ProtocolError, SessionError
+from repro.core.ot import transform
+from repro.errors import (
+    CryptoError,
+    DeltaError,
+    NetworkTimeoutError,
+    PasswordError,
+    ProtocolError,
+    RetryBudgetExceededError,
+    SessionError,
+)
 from repro.net.channel import Channel
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.policy import RetryPolicy, RetryState
+from repro.obs import counter, histogram
 from repro.services.gdocs import protocol
+from repro.workloads.diff import derive_delta
 
 __all__ = ["GDocsClient", "SaveOutcome"]
 
 #: the user-visible complaint the paper reports during concurrent edits
 CONFLICT_COMPLAINT = "multiple people editing the same region"
 
+_RETRIES = counter("client.retries.attempts")
+_TIMEOUTS = counter("client.retries.timeouts")
+_GIVEUPS = counter("client.retries.giveups")
+_BACKOFF = histogram("client.retries.backoff_seconds")
+_RESYNCS = counter("client.resyncs")
+_SAVE_FAILURES = counter("client.save_failures")
+
 
 @dataclass
 class SaveOutcome:
-    """What one save attempt did, for tests and benchmarks."""
+    """What one save attempt did, for tests and benchmarks.
+
+    ``ok`` is False only when a resilient client exhausted its retry
+    budget or hit a non-retryable failure — the typed, non-raising
+    surface of an unrecoverable fault (``error`` says which).  Legacy
+    clients (no policy) raise instead, so their outcomes always have
+    ``ok=True``.
+    """
 
     kind: str              #: "full" | "delta" | "noop"
     ack: protocol.Ack | None = None
     conflict: bool = False
     complaints: list[str] = field(default_factory=list)
+    ok: bool = True
+    error: str | None = None
+    attempts: int = 1
+    resynced: bool = False
 
 
 class GDocsClient:
     """One user's editing client for one document."""
 
-    def __init__(self, channel: Channel, doc_id: str):
+    def __init__(self, channel: Channel, doc_id: str,
+                 policy: RetryPolicy | None = None):
         self._channel = channel
         self.doc_id = doc_id
         self.editor = EditorBuffer()
         self._sid: str | None = None
         self._rev = -1
         self._did_full_save = False
+        #: None → legacy behaviour (failures raise, no retries, no idem
+        #: keys, wire byte-identical to the paper's protocol)
+        self._policy = policy
+        #: per-session save sequence number; feeds idempotency keys
+        self._seq = 0
         self.complaints: list[str] = []
 
     # -- session -----------------------------------------------------------
@@ -62,7 +108,7 @@ class GDocsClient:
 
     def open(self) -> str:
         """Open (or create) the document; returns its current text."""
-        response = self._channel.send(protocol.open_request(self.doc_id))
+        response = self._send(protocol.open_request(self.doc_id))
         if not response.ok:
             raise ProtocolError(f"open failed: {response.body}")
         fields = response.form
@@ -92,10 +138,69 @@ class GDocsClient:
         """Apply a scripted edit to the local buffer."""
         self.editor.apply_delta(delta)
 
+    # -- resilient delivery (policy-gated) ---------------------------------
+
+    def _send(self, request: HttpRequest) -> HttpResponse:
+        """One exchange, retried under the policy when one is set."""
+        if self._policy is None:
+            return self._channel.send(request)
+        return self._deliver(request,
+                             self._policy.make_state(self._channel.clock))
+
+    def _deliver(self, request: HttpRequest,
+                 state: RetryState) -> HttpResponse:
+        """Send ``request``, retrying timeouts and retryable statuses.
+
+        Returns the first conclusive response — success or a
+        non-retryable error, or the last retryable error response once
+        the budget is spent.  Raises
+        :class:`~repro.errors.RetryBudgetExceededError` only when the
+        budget dies on a *timeout* (no response to surface).
+        """
+        while True:
+            try:
+                response = self._channel.send(request)
+            except NetworkTimeoutError as exc:
+                _TIMEOUTS.inc()
+                delay = state.backoff()
+                if delay is None:
+                    _GIVEUPS.inc()
+                    raise RetryBudgetExceededError(
+                        f"gave up after {state.attempts} attempts "
+                        f"({state.elapsed:.2f}s simulated): {exc}"
+                    ) from exc
+                self._pause(delay)
+                continue
+            if not response.ok and self._policy.retryable(response):
+                delay = state.backoff(response)
+                if delay is None:
+                    _GIVEUPS.inc()
+                    return response
+                self._pause(delay)
+                continue
+            return response
+
+    def _pause(self, seconds: float) -> None:
+        """Back off on the simulated clock (the only time source)."""
+        _RETRIES.inc()
+        _BACKOFF.observe(seconds)
+        self._channel.clock.advance(seconds)
+
     # -- saving ------------------------------------------------------------
 
     def save(self) -> SaveOutcome:
-        """Autosave: full on the session's first save, delta afterwards."""
+        """Autosave: full on the session's first save, delta afterwards.
+
+        With a retry policy set, failures come back as a typed
+        ``SaveOutcome(ok=False)`` instead of raising, and every save
+        carries an idempotency key.
+        """
+        if self._policy is not None:
+            return self._save_resilient()
+        return self._save_legacy()
+
+    def _save_legacy(self) -> SaveOutcome:
+        """The paper-faithful save path: any failed exchange raises."""
         if self._sid is None:
             raise SessionError("save outside an edit session")
         if self._did_full_save and not self.editor.dirty:
@@ -142,6 +247,171 @@ class GDocsClient:
             self._check_consistency(ack, outcome)
         return outcome
 
+    def _save_resilient(self) -> SaveOutcome:
+        """Save under the retry policy: idempotent, typed, non-raising.
+
+        The idempotency key makes the retry loop safe against the
+        blackhole ambiguity (server processed the save but the ack was
+        lost): the re-sent request carries the same key, so the server
+        answers from its replay cache instead of applying twice — and
+        the mediating extension re-sends the same ciphertext instead of
+        re-transforming (which would corrupt its mirror).
+        """
+        if self._sid is None:
+            raise SessionError("save outside an edit session")
+        if self._did_full_save and not self.editor.dirty:
+            return SaveOutcome(kind="noop")
+
+        self._seq += 1
+        idem = f"{self._sid}:{self._seq}"
+        if not self._did_full_save:
+            kind = "full"
+            request = protocol.full_save_request(
+                self.doc_id, self._sid, self._rev, self.editor.text,
+                idem=idem,
+            )
+        else:
+            kind = "delta"
+            request = protocol.delta_save_request(
+                self.doc_id, self._sid, self._rev,
+                self.editor.pending_delta().serialize(), idem=idem,
+            )
+
+        state = self._policy.make_state(self._channel.clock)
+        try:
+            response = self._deliver(request, state)
+        except RetryBudgetExceededError as exc:
+            return self._save_failed(kind, state, f"timeout: {exc}")
+        except (DeltaError, CryptoError, PasswordError) as exc:
+            # A mediating extension failed to transform the save (its
+            # mirror diverged — e.g. the stored ciphertext was damaged
+            # and a resync adopted unexpected state).  Typed failure;
+            # the full-save fallback rebuilds the mirror from scratch.
+            return self._save_failed(kind, state, f"transform: {exc}")
+        if not response.ok:
+            return self._save_failed(
+                kind, state, f"http {response.status}: {response.body}"
+            )
+        try:
+            ack = protocol.Ack.from_response(response)
+        except ProtocolError as exc:
+            # The response was mangled in flight; the server's state is
+            # unknown, so recover exactly as for an error response.
+            return self._save_failed(kind, state, f"malformed ack: {exc}")
+
+        outcome = SaveOutcome(kind=kind, ack=ack, conflict=ack.conflict,
+                              attempts=state.attempts)
+        if ack.conflict or ack.merged:
+            self._resync_and_rebase(outcome, state)
+        else:
+            self._rev = ack.rev
+            self._did_full_save = True
+            self.editor.mark_synced()
+            self._check_consistency(ack, outcome)
+        return outcome
+
+    def _save_failed(self, kind: str, state: RetryState,
+                     error: str) -> SaveOutcome:
+        """Typed unrecoverable-save surface: never an exception, and the
+        next save re-sends the whole document (rebuilding the mediating
+        extension's mirror along the way)."""
+        _SAVE_FAILURES.inc()
+        self._did_full_save = False
+        return SaveOutcome(kind=kind, ok=False, error=error,
+                           attempts=state.attempts)
+
+    def _resync_and_rebase(self, outcome: SaveOutcome,
+                           state: RetryState) -> None:
+        """Conflict recovery: fetch, adopt, replay pending local edits.
+
+        The server's authoritative content comes from the Ack when
+        present, else from a document fetch (which, under a mediating
+        extension, also rebuilds the extension's ciphertext mirror from
+        the stored bytes).  Local edits not yet acknowledged are rebased
+        over the server's concurrent change with the server given
+        priority, then left pending for the next save.
+        """
+        _RESYNCS.inc()
+        outcome.resynced = True
+        ack = outcome.ack
+        synced = self.editor.synced_text
+        local = self.editor.text
+
+        if ack is not None and ack.content_from_server:
+            fetched = ack.content_from_server
+            rev = ack.rev
+        else:
+            try:
+                response = self._deliver(
+                    protocol.fetch_request(self.doc_id), state
+                )
+            except RetryBudgetExceededError as exc:
+                outcome.ok = False
+                outcome.error = f"resync fetch timed out: {exc}"
+                outcome.attempts = state.attempts
+                _SAVE_FAILURES.inc()
+                self._did_full_save = False
+                return
+            if not response.ok:
+                outcome.ok = False
+                outcome.error = (
+                    f"resync fetch failed: http {response.status}"
+                )
+                outcome.attempts = state.attempts
+                _SAVE_FAILURES.inc()
+                self._did_full_save = False
+                return
+            fetched = response.body
+            rev = int(response.headers.get(protocol.A_REV, self._rev))
+
+        if self._looks_garbled(fetched):
+            # What came back is not readable text — under a mediating
+            # extension this means the stored ciphertext no longer
+            # decrypts (corrupted at rest or in flight).  Abandon the
+            # fetched state and schedule a full save: the local
+            # plaintext overwrites the damaged store.
+            complaint = "stored document unreadable; re-saving local copy"
+            self.complaints.append(complaint)
+            outcome.complaints.append(complaint)
+            self._did_full_save = False
+            self._rev = max(self._rev, rev if ack is None else ack.rev)
+            return
+
+        pending = derive_delta(synced, local)
+        server_change = derive_delta(synced, fetched)
+        self.editor.resync(fetched)
+        try:
+            rebased = transform(pending, server_change, priority="right")
+            self.editor.set_text(rebased.apply(fetched))
+        except DeltaError:
+            # Rebase impossible (divergence too deep): keep the server's
+            # text; the user's unsaved edits are lost, reported loudly.
+            complaint = CONFLICT_COMPLAINT
+            self.complaints.append(complaint)
+            outcome.complaints.append(complaint)
+        self._rev = max(self._rev, rev)
+        self._did_full_save = True
+
+    @staticmethod
+    def _looks_garbled(content: str) -> bool:
+        """Would a user recognize this as *their* document?  Models the
+        human glance that notices ciphertext/pseudo-prose where prose
+        should be (the client stays oblivious of crypto details; these
+        detectors are the simulation's stand-in for that glance).
+
+        The uppercase-ratio fallback catches ciphertext whose header
+        was damaged in flight — it no longer parses as a wire document,
+        but it still does not read as the user's prose."""
+        from repro.encoding.stego import looks_stego
+        from repro.encoding.wire import looks_encrypted
+        if looks_encrypted(content) or looks_stego(content):
+            return True
+        letters = [c for c in content if c.isalpha()]
+        if len(letters) < 16:
+            return False
+        upper = sum(1 for c in letters if c.isupper())
+        return upper / len(letters) > 0.9
+
     def _handle_conflict(self, ack: protocol.Ack,
                          outcome: SaveOutcome) -> None:
         """Resync from the server's authoritative content when it is
@@ -180,7 +450,7 @@ class GDocsClient:
 
     def refresh(self) -> str:
         """Fetch current content outside the save path (passive reader)."""
-        response = self._channel.send(protocol.fetch_request(self.doc_id))
+        response = self._send(protocol.fetch_request(self.doc_id))
         if not response.ok:
             raise ProtocolError(f"refresh failed: {response.body}")
         self.editor.resync(response.body)

@@ -87,6 +87,23 @@ class BlockedRequestError(ProtocolError):
     allowed interface (the fail-closed branch of Fig. 2)."""
 
 
+class NetworkError(ProtocolError):
+    """The simulated network failed to complete an exchange (the
+    unreliable-cloud model of :mod:`repro.net.faults`)."""
+
+
+class NetworkTimeoutError(NetworkError):
+    """No response arrived within the timeout: the request or its
+    response was lost in flight.  The caller cannot know whether the
+    server processed the request — which is exactly why save requests
+    carry idempotency keys."""
+
+
+class RetryBudgetExceededError(NetworkError):
+    """The retry policy's attempt or deadline budget ran out before an
+    exchange succeeded."""
+
+
 class QuotaExceededError(ProtocolError):
     """The server refused content above its maximum file size
     (Google Documents enforced 500 kB in 2011)."""

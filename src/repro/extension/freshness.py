@@ -23,8 +23,12 @@ cross-client machinery, which the paper explicitly leaves out of scope.
 from __future__ import annotations
 
 from repro.errors import IntegrityError
+from repro.obs import counter
 
 __all__ = ["RollbackError", "FreshnessMonitor"]
+
+#: reads that presented an older version than this client has seen
+_STALE_READS = counter("extension.freshness.stale_reads")
 
 
 class RollbackError(IntegrityError):
@@ -51,6 +55,7 @@ class FreshnessMonitor:
         """Raise :class:`RollbackError` when ``version`` regresses."""
         current = self._high_water.get(doc_id)
         if current is not None and version < current:
+            _STALE_READS.inc()
             raise RollbackError(
                 f"document {doc_id!r} loaded at version {version}, but "
                 f"this client has already seen version {current} "

@@ -22,6 +22,8 @@ and on the return path:
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.core.delta import Delta
 from repro.core.transform import EncryptionEngine
 from repro.encoding.wire import looks_encrypted
@@ -36,9 +38,21 @@ from repro.extension.freshness import FreshnessMonitor
 from repro.extension.passwords import PasswordVault
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.latency import SimClock
+from repro.obs import counter
 from repro.services.gdocs import protocol
 
 __all__ = ["GDocsExtension"]
+
+#: save rewrites served from the idempotency cache — each one is a
+#: retry/replay whose re-transformation would have double-advanced the
+#: ciphertext mirror
+_IDEM_REPLAYS = counter("extension.idem_replays")
+#: Acks whose contentFromServerHash disagreed with the mirror (stored
+#: ciphertext corrupted in flight or tampered at rest)
+_ACK_MISMATCHES = counter("extension.ack_hash_mismatches")
+
+#: rewritten save requests remembered per extension (ring-capped)
+IDEM_REWRITE_CACHE_SIZE = 64
 
 
 class GDocsExtension:
@@ -56,6 +70,7 @@ class GDocsExtension:
         decrypt_acks: bool = False,
         stego: bool = False,
         freshness: FreshnessMonitor | None = None,
+        verify_acks: bool = False,
     ):
         self._vault = vault
         self._scheme = scheme
@@ -73,7 +88,18 @@ class GDocsExtension:
         self._stego = stego
         #: beyond-the-paper rollback detector (RPC documents only)
         self._freshness = freshness
+        #: check every Ack's contentFromServerHash against the mirror's
+        #: expected stored bytes, flagging a conflict on divergence so
+        #: the client resyncs.  Costs one hash of the full mirror wire
+        #: per save — off by default, enabled by fault-tolerant sessions
+        self._verify_acks = verify_acks
         self._engines: dict[str, EncryptionEngine] = {}
+        #: (doc_id, idempotency key) -> the rewritten request already
+        #: produced for that save; a client retry must re-send the SAME
+        #: ciphertext, not re-transform (which would double-advance the
+        #: mirror)
+        self._idem_rewrites: OrderedDict[tuple[str, str], HttpRequest] = \
+            OrderedDict()
         self.warnings: list[str] = []
 
     # -- engine management ----------------------------------------------
@@ -108,10 +134,25 @@ class GDocsExtension:
             return None
 
         form = request.form if request.body else {}
-        if protocol.F_DOC_CONTENTS in form:
-            return self._rewrite_full_save(doc_id, request, form)
-        if protocol.F_DELTA in form:
-            return self._rewrite_delta_save(doc_id, request, form)
+        if protocol.F_DOC_CONTENTS in form or protocol.F_DELTA in form:
+            idem = form.get(protocol.F_IDEM)
+            if idem is not None:
+                cached = self._idem_rewrites.get((doc_id, idem))
+                if cached is not None:
+                    # A retry of a save we already transformed: re-send
+                    # the identical ciphertext.  Re-transforming would
+                    # advance the mirror a second time for one edit.
+                    _IDEM_REPLAYS.inc()
+                    return cached
+            if protocol.F_DOC_CONTENTS in form:
+                rewritten = self._rewrite_full_save(doc_id, request, form)
+            else:
+                rewritten = self._rewrite_delta_save(doc_id, request, form)
+            if idem is not None:
+                self._idem_rewrites[(doc_id, idem)] = rewritten
+                while len(self._idem_rewrites) > IDEM_REWRITE_CACHE_SIZE:
+                    self._idem_rewrites.popitem(last=False)
+            return rewritten
         if not form:
             return request  # session open carries no content
         return None  # unknown POST shape: drop
@@ -212,6 +253,7 @@ class GDocsExtension:
     def _neutralize_ack(
         self, doc_id: str, response: HttpResponse, fields: dict[str, str]
     ) -> HttpResponse:
+        divergent = self._verify_acks and self._ack_diverges(doc_id, fields)
         content = self._unwrap_if_stego(fields.get(protocol.A_CONTENT, ""))
         if self._decrypt_acks and looks_encrypted(content):
             plain = self._try_decrypt(doc_id, content)
@@ -234,7 +276,43 @@ class GDocsExtension:
             # paper's conflict behaviour (complain + full-save recovery).
             neutral[protocol.A_MERGED] = "0"
             neutral[protocol.A_CONFLICT] = "1"
+        if divergent:
+            # The server's stored bytes are not what we believe we
+            # stored (corrupted in flight, tampered at rest).  Turn the
+            # silent divergence into a conflict so the client resyncs.
+            neutral[protocol.A_CONFLICT] = "1"
         return response.with_form(neutral)
+
+    def _ack_diverges(self, doc_id: str, fields: dict[str, str]) -> bool:
+        """Does the Ack's content hash disagree with the mirror?
+
+        Only meaningful when the server reports neither conflict nor
+        merge (those already signal divergence) and we hold a mirror to
+        compare against.
+        """
+        if fields.get(protocol.A_CONFLICT) == "1":
+            return False
+        if fields.get(protocol.A_MERGED) == "1":
+            return False
+        reported = fields.get(protocol.A_CONTENT_HASH, "")
+        if not reported or reported == protocol.NEUTRAL_HASH:
+            return False
+        engine = self._engines.get(doc_id)
+        mirror = engine.mirror if engine is not None else None
+        if mirror is None:
+            return False
+        stored = mirror.wire()
+        if self._stego:
+            from repro.encoding.stego import stego_wrap
+            stored = stego_wrap(stored)
+        if protocol.content_hash(stored) == reported:
+            return False
+        _ACK_MISMATCHES.inc()
+        self.warnings.append(
+            f"{doc_id}: ack content hash diverges from mirror "
+            "(stored ciphertext corrupted?)"
+        )
+        return True
 
     def _try_decrypt(self, doc_id: str, wire_text: str) -> str | None:
         engine = self.engine(doc_id)

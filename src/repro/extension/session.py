@@ -42,9 +42,17 @@ class PrivateEditingSession:
         decrypt_acks: bool = False,
         stego: bool = False,
         freshness: FreshnessMonitor | None = None,
+        faults=None,
+        retry_policy=None,
+        verify_acks: bool = False,
     ):
         self.server = server if server is not None else GDocsServer()
-        self.channel = Channel(self.server, latency=latency)
+        #: faults: an optional repro.net.faults.FaultPlan making the
+        #: cloud unreliable; retry_policy: the client's
+        #: repro.net.policy.RetryPolicy answer to it; verify_acks: have
+        #: the extension hash-check every Ack against its mirror
+        self.faults = faults
+        self.channel = Channel(self.server, latency=latency, faults=faults)
         self.vault = PasswordVault({doc_id: password})
         self.extension: GDocsExtension | None = None
         if extension_enabled:
@@ -59,9 +67,11 @@ class PrivateEditingSession:
                 decrypt_acks=decrypt_acks,
                 stego=stego,
                 freshness=freshness,
+                verify_acks=verify_acks,
             )
             self.channel.set_mediator(self.extension)
-        self.client = GDocsClient(self.channel, doc_id)
+        self.client = GDocsClient(self.channel, doc_id,
+                                  policy=retry_policy)
 
     # -- user actions, delegated to the oblivious client ----------------
 

@@ -1,9 +1,12 @@
-"""Network substrate: message types, latency simulation, and the
-interceptable channel the extension hooks."""
+"""Network substrate: message types, latency simulation, fault
+injection, retry policy, and the interceptable channel the extension
+hooks."""
 
 from repro.net.channel import Channel, Exchange, Mediator
+from repro.net.faults import FAULT_KINDS, FaultPlan, FaultSpec, updates_only
 from repro.net.http import HttpRequest, HttpResponse, parse_url
 from repro.net.latency import INSTANT, LAN, WAN_2011, LatencyModel, SimClock
+from repro.net.policy import RETRYABLE_STATUSES, RetryPolicy, RetryState
 
 __all__ = [
     "HttpRequest",
@@ -17,4 +20,11 @@ __all__ = [
     "WAN_2011",
     "LAN",
     "INSTANT",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_KINDS",
+    "updates_only",
+    "RetryPolicy",
+    "RetryState",
+    "RETRYABLE_STATUSES",
 ]

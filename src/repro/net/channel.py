@@ -12,7 +12,13 @@ callable and returns its :class:`HttpResponse`, with three hook points:
   ran without SSL, so our adversary sees all traffic; the tap is how
   the security harness collects what an adversary would);
 * **tamperers** — active network adversaries that mutate messages in
-  flight.
+  flight;
+* **faults** — an optional :class:`repro.net.faults.FaultPlan` that
+  makes the network itself unreliable (drops, duplicates, reordering,
+  corruption, injected 5xx/429) — distinct from tamperers in that it
+  models *failure*, not malice, and may prevent an exchange from
+  completing at all (raising
+  :class:`~repro.errors.NetworkTimeoutError`).
 
 Every exchange advances the simulated clock by the latency model's
 estimate, and is appended to ``exchange_log`` for analysis.
@@ -79,10 +85,13 @@ class Channel:
         latency: LatencyModel | None = None,
         clock: SimClock | None = None,
         max_log: int | None = None,
+        faults=None,
     ):
         if max_log is not None and max_log < 1:
             raise ValueError(f"max_log must be >= 1 or None, got {max_log}")
         self._server = server
+        #: optional repro.net.faults.FaultPlan making delivery unreliable
+        self.faults = faults
         self._latency = latency if latency is not None else INSTANT()
         self.clock = clock if clock is not None else SimClock()
         self._mediator: Mediator | None = None
@@ -141,7 +150,17 @@ class Channel:
         if self._request_tamperer is not None:
             outgoing = self._request_tamperer(outgoing)
 
-        response = self._server(outgoing)
+        if self.faults is not None:
+            # The fault plan owns delivery: it may mutate, duplicate,
+            # reorder, answer for the server, or lose the exchange
+            # entirely (raising NetworkTimeoutError — nothing is
+            # logged because nothing completed on the wire; the plan
+            # records what it saw in ``faults.observed``).
+            outgoing, response = self.faults.deliver(
+                outgoing, self._server, self.clock
+            )
+        else:
+            response = self._server(outgoing)
 
         if self._response_tamperer is not None:
             response = self._response_tamperer(response)

@@ -1,0 +1,281 @@
+"""Fault injection: the untrusted cloud made actually unreliable.
+
+The paper's whole premise is an untrusted, *unreliable* provider — yet a
+latency model alone simulates a network that always delivers.  A
+:class:`FaultPlan` composes into :class:`repro.net.channel.Channel` and
+perturbs exchanges the way a real WAN and a real overloaded service do:
+
+* **drop** — the request is lost before the server sees it;
+* **blackhole** — the server processes the request but its response is
+  lost (the classic "did my save land?" ambiguity that motivates
+  idempotency keys);
+* **delay** — extra one-off latency on top of the latency model;
+* **dup** — the request is delivered twice (a retransmit the client
+  never asked for);
+* **reorder** — the request is held and arrives *after* the next
+  exchange (the client sees a timeout; the stale packet lands late);
+* **truncate** / **corrupt** — bytes are cut or flipped in flight, on
+  the request or the response;
+* **http_5xx** / **http_429** — the service answers with an injected
+  server error or a rate-limit (with ``Retry-After``) without touching
+  document state.
+
+Determinism is a hard requirement: every random choice flows from the
+plan's seeded ``random.Random`` and all time flows from the channel's
+:class:`~repro.net.latency.SimClock`, so a failing chaos-matrix cell
+replays exactly from its seed.  Lost/held requests are also recorded in
+:attr:`FaultPlan.observed` — an eavesdropper sees a request even when
+its response never comes, so the leak checks must too.
+
+Every injection is counted under the ``net.faults.*`` metric namespace.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import NetworkTimeoutError
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.latency import SimClock
+from repro.obs import counter
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "updates_only"]
+
+#: every kind a :class:`FaultSpec` may carry, in documentation order
+FAULT_KINDS = (
+    "drop", "blackhole", "delay", "dup", "reorder",
+    "truncate", "corrupt", "http_5xx", "http_429",
+)
+
+_INJECTED = counter("net.faults.injected")
+_LATE = counter("net.faults.late_deliveries")
+_BY_KIND = {kind: counter(f"net.faults.{kind}") for kind in FAULT_KINDS}
+
+
+def updates_only(request: HttpRequest) -> bool:
+    """Spec predicate: fault only content updates (POSTs with a body),
+    leaving session opens and fetches untouched."""
+    return request.method == "POST" and bool(request.body)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind plus when and how hard to inject it.
+
+    A spec triggers on an exchange when the exchange's index is in
+    ``at``, or — for rate-driven chaos — when the plan's seeded RNG
+    draws below ``rate``.  ``limit`` caps total injections from this
+    spec; ``match`` (e.g. :func:`updates_only`) restricts which
+    requests are eligible.
+    """
+
+    kind: str
+    rate: float = 0.0
+    at: tuple[int, ...] = ()
+    limit: int | None = None
+    match: Callable[[HttpRequest], bool] | None = None
+    #: extra seconds for ``delay``
+    delay_seconds: float = 0.75
+    #: injected status for ``http_5xx`` (500/502/503/504)
+    status: int = 503
+    #: the Retry-After header value for ``http_429``
+    retry_after: float = 1.0
+    #: which direction ``truncate``/``corrupt`` damages
+    where: str = "request"
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.where not in ("request", "response"):
+            raise ValueError(f"where must be request/response, got "
+                             f"{self.where!r}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+
+class FaultPlan:
+    """A seeded schedule of faults, composed into a Channel.
+
+    The plan sees every exchange post-mediation (what is on the wire),
+    decides at most one fault for it (first triggering spec wins, in
+    spec order), and performs the delivery to the server itself — which
+    is what lets it drop, duplicate, reorder, or fabricate responses.
+
+    ``timeout_seconds`` is how long a client waits before concluding a
+    dropped exchange is dead; the simulated clock advances by it on
+    every drop/blackhole/reorder so retry deadlines are meaningful.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | tuple[FaultSpec, ...],
+                 seed: int = 0, timeout_seconds: float = 2.0):
+        self.specs = list(specs)
+        self.seed = seed
+        self.timeout_seconds = timeout_seconds
+        self._rng = random.Random(seed)
+        self._index = 0
+        self._counts: dict[int, int] = {}  # spec position -> injections
+        self._held: list[HttpRequest] = []
+        #: every request the plan saw (post-mediation), including ones
+        #: whose exchange never completed — leak checks scan this
+        self.observed: list[HttpRequest] = []
+        #: (exchange_index, kind) for every injection, for test replay
+        self.injections: list[tuple[int, str]] = []
+        self._quiesced = False
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0,
+                kinds: tuple[str, ...] = FAULT_KINDS,
+                timeout_seconds: float = 2.0,
+                match: Callable[[HttpRequest], bool] | None = None,
+                ) -> "FaultPlan":
+        """Every listed kind at the same per-exchange probability."""
+        specs = [FaultSpec(kind=kind, rate=rate, match=match)
+                 for kind in kinds]
+        return cls(specs, seed=seed, timeout_seconds=timeout_seconds)
+
+    def __repr__(self) -> str:
+        kinds = ",".join(spec.kind for spec in self.specs)
+        return (f"FaultPlan(seed={self.seed}, kinds=[{kinds}], "
+                f"injected={len(self.injections)})")
+
+    def quiesce(self) -> None:
+        """Stop injecting (held requests still flush): the recovery
+        phase of a chaos scenario."""
+        self._quiesced = True
+
+    # -- trigger decision ------------------------------------------------
+
+    def _pick(self, index: int, request: HttpRequest) -> FaultSpec | None:
+        chosen: FaultSpec | None = None
+        chosen_pos = -1
+        for pos, spec in enumerate(self.specs):
+            if spec.limit is not None and \
+                    self._counts.get(pos, 0) >= spec.limit:
+                continue
+            if spec.match is not None and not spec.match(request):
+                continue
+            scheduled = index in spec.at
+            # One draw per rate-spec per exchange, taken regardless of
+            # whether an earlier spec already won — keeps the stream
+            # aligned so one cell's outcome never shifts another's.
+            drawn = spec.rate > 0.0 and self._rng.random() < spec.rate
+            if chosen is None and (scheduled or drawn):
+                chosen, chosen_pos = spec, pos
+        if chosen is not None and not self._quiesced:
+            self._counts[chosen_pos] = self._counts.get(chosen_pos, 0) + 1
+            self.injections.append((index, chosen.kind))
+            _INJECTED.inc()
+            _BY_KIND[chosen.kind].inc()
+            return chosen
+        return None
+
+    # -- damage helpers --------------------------------------------------
+
+    def _truncate_body(self, body: str) -> str:
+        if not body:
+            return body
+        keep = self._rng.randrange(len(body))
+        return body[:keep]
+
+    def _corrupt_body(self, body: str) -> str:
+        if not body:
+            return body
+        pos = self._rng.randrange(len(body))
+        old = body[pos]
+        alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567"
+        new = self._rng.choice([c for c in alphabet if c != old])
+        return body[:pos] + new + body[pos + 1:]
+
+    # -- delivery --------------------------------------------------------
+
+    def deliver(
+        self,
+        request: HttpRequest,
+        server: Callable[[HttpRequest], HttpResponse],
+        clock: SimClock,
+    ) -> tuple[HttpRequest, HttpResponse]:
+        """Deliver one exchange through the faulty network.
+
+        Returns ``(request_as_delivered, response_as_received)``; raises
+        :class:`~repro.errors.NetworkTimeoutError` when the exchange is
+        lost.  Held (reordered) requests from earlier exchanges are
+        flushed to the server *after* this one — their responses go
+        nowhere, which is exactly what "arrived too late" means.
+        """
+        index = self._index
+        self._index += 1
+        late, self._held = self._held, []
+        try:
+            self.observed.append(request)
+            spec = self._pick(index, request)
+            if spec is None:
+                return request, server(request)
+            kind = spec.kind
+            if kind == "delay":
+                clock.advance(spec.delay_seconds)
+                return request, server(request)
+            if kind == "drop":
+                clock.advance(self.timeout_seconds)
+                raise NetworkTimeoutError(
+                    f"request lost in flight (exchange {index}, "
+                    f"fault seed {self.seed})"
+                )
+            if kind == "blackhole":
+                server(request)
+                clock.advance(self.timeout_seconds)
+                raise NetworkTimeoutError(
+                    f"response lost in flight (exchange {index}, "
+                    f"fault seed {self.seed}; server DID process the "
+                    f"request)"
+                )
+            if kind == "reorder":
+                self._held.append(request)
+                clock.advance(self.timeout_seconds)
+                raise NetworkTimeoutError(
+                    f"request reordered past its successor (exchange "
+                    f"{index}, fault seed {self.seed})"
+                )
+            if kind == "dup":
+                server(request)
+                return request, server(request)
+            if kind == "http_5xx":
+                return request, HttpResponse(
+                    spec.status, "injected server failure"
+                )
+            if kind == "http_429":
+                return request, HttpResponse(
+                    429, "injected rate limit",
+                    headers={"Retry-After": str(spec.retry_after)},
+                )
+            if kind == "truncate":
+                if spec.where == "request":
+                    request = request.with_body(
+                        self._truncate_body(request.body)
+                    )
+                    return request, server(request)
+                response = server(request)
+                return request, response.with_body(
+                    self._truncate_body(response.body)
+                )
+            # corrupt
+            if spec.where == "request":
+                request = request.with_body(
+                    self._corrupt_body(request.body)
+                )
+                return request, server(request)
+            response = server(request)
+            return request, response.with_body(
+                self._corrupt_body(response.body)
+            )
+        finally:
+            for stale in late:
+                _LATE.inc()
+                try:
+                    server(stale)  # late arrival; nobody hears the answer
+                except Exception:
+                    pass  # a late packet's failure is invisible too

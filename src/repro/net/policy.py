@@ -1,0 +1,116 @@
+"""Retry, timeout, and backoff policy for the client stack.
+
+Once the network can fail (:mod:`repro.net.faults`), the client needs a
+disciplined answer to "try again, but not forever": capped exponential
+backoff with jitter, bounded both by an attempt count and by a deadline
+on the *simulated* clock.  Nothing here reads wall-clock time or the
+module-global ``random`` — jitter flows from a seeded RNG and waiting
+is ``clock.advance``, so every retry schedule replays exactly from its
+seed (the same determinism contract as the fault plan).
+
+A :class:`RetryPolicy` is immutable configuration; each logical
+operation (one save, one open) gets a fresh :class:`RetryState` that
+tracks its attempt count and deadline.  Retries of a *save* must ride
+with an idempotency key (see ``docs/faults.md``) because a timed-out
+request may still have been processed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.http import HttpResponse
+from repro.net.latency import SimClock
+
+__all__ = ["RetryPolicy", "RetryState", "retry_after_of",
+           "RETRYABLE_STATUSES"]
+
+#: statuses that signal a transient server condition worth retrying
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-bounded exponential backoff with jitter (seeded).
+
+    Defaults: up to 6 attempts, delays 0.25 s · 2^n capped at 8 s,
+    ±50% jitter, all within a 45-simulated-second deadline per logical
+    operation.  ``Retry-After`` on a 429/503 response raises the next
+    delay to at least the server's ask.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.25
+    multiplier: float = 2.0
+    max_delay: float = 8.0
+    deadline: float = 45.0
+    jitter: float = 0.5
+    retry_statuses: frozenset[int] = RETRYABLE_STATUSES
+    seed: int = 0
+    #: mutable spawn counter shared across states so each RetryState
+    #: gets a distinct (but still seed-determined) jitter stream
+    _spawned: list[int] = field(default_factory=lambda: [0], repr=False,
+                                compare=False)
+
+    def make_state(self, clock: SimClock) -> "RetryState":
+        """A fresh per-operation budget anchored at ``clock.now()``."""
+        self._spawned[0] += 1
+        return RetryState(self, clock,
+                          seed=self.seed * 1_000_003 + self._spawned[0])
+
+    def retryable(self, response: HttpResponse) -> bool:
+        """Is this response a transient condition worth retrying?"""
+        return response.status in self.retry_statuses
+
+
+def retry_after_of(response: HttpResponse | None) -> float | None:
+    """The server's Retry-After ask in seconds, if parseable."""
+    if response is None:
+        return None
+    raw = response.headers.get("Retry-After")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+class RetryState:
+    """Attempt counter + deadline for one logical operation."""
+
+    def __init__(self, policy: RetryPolicy, clock: SimClock, seed: int = 0):
+        self.policy = policy
+        self.clock = clock
+        self.attempts = 1  # the initial try counts as attempt 1
+        self._start = clock.now()
+        self._rng = random.Random(seed)
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds since the operation began."""
+        return self.clock.now() - self._start
+
+    def backoff(self, response: HttpResponse | None = None) -> float | None:
+        """The next delay in seconds, or None when the budget is spent.
+
+        Consumes one attempt.  The caller advances the clock by the
+        returned delay (the channel's clock is the only time source).
+        """
+        policy = self.policy
+        if self.attempts >= policy.max_attempts:
+            return None
+        delay = min(policy.max_delay,
+                    policy.base_delay * policy.multiplier
+                    ** (self.attempts - 1))
+        if policy.jitter:
+            delay *= 1.0 + policy.jitter * (2.0 * self._rng.random() - 1.0)
+        asked = retry_after_of(response)
+        if asked is not None:
+            delay = max(delay, asked)
+        if self.elapsed + delay > policy.deadline:
+            return None
+        self.attempts += 1
+        return delay

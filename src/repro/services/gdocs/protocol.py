@@ -30,9 +30,9 @@ from repro.net.http import HttpRequest, HttpResponse
 
 __all__ = [
     "DOC_PATH", "HOST",
-    "F_DOC_CONTENTS", "F_DELTA", "F_SID", "F_REV", "F_ACTION",
+    "F_DOC_CONTENTS", "F_DELTA", "F_SID", "F_REV", "F_ACTION", "F_IDEM",
     "A_STATUS", "A_REV", "A_CONTENT", "A_CONTENT_HASH", "A_CONFLICT",
-    "A_MERGED",
+    "A_MERGED", "H_RETRY_AFTER",
     "NEUTRAL_CONTENT", "NEUTRAL_HASH",
     "content_hash", "Ack",
     "open_request", "full_save_request", "delta_save_request",
@@ -48,6 +48,13 @@ F_DELTA = "delta"
 F_SID = "sid"
 F_REV = "rev"
 F_ACTION = "action"
+#: idempotency key (a reproduction extension for the fault model):
+#: a client retrying a timed-out save re-sends the same key, and the
+#: server answers a replay from its cache instead of re-applying
+F_IDEM = "idem"
+
+#: response header carrying the server's backoff ask on 429/503
+H_RETRY_AFTER = "Retry-After"
 
 # ack response fields
 A_STATUS = "status"
@@ -105,31 +112,29 @@ def open_request(doc_id: str) -> HttpRequest:
 
 
 def full_save_request(doc_id: str, sid: str, rev: int,
-                      content: str) -> HttpRequest:
-    """The first save of a session: whole contents in ``docContents``."""
-    return HttpRequest(
-        "POST",
-        _doc_url(doc_id),
-        body=encode_form({
-            F_SID: sid,
-            F_REV: str(rev),
-            F_DOC_CONTENTS: content,
-        }),
-    )
+                      content: str, idem: str | None = None) -> HttpRequest:
+    """The first save of a session: whole contents in ``docContents``.
+
+    ``idem`` attaches an idempotency key (resilient clients only; the
+    wire stays byte-identical to the legacy protocol when omitted).
+    """
+    fields = {F_SID: sid, F_REV: str(rev), F_DOC_CONTENTS: content}
+    if idem is not None:
+        fields[F_IDEM] = idem
+    return HttpRequest("POST", _doc_url(doc_id), body=encode_form(fields))
 
 
 def delta_save_request(doc_id: str, sid: str, rev: int,
-                       delta_text: str) -> HttpRequest:
-    """A subsequent save: only the difference, in ``delta``."""
-    return HttpRequest(
-        "POST",
-        _doc_url(doc_id),
-        body=encode_form({
-            F_SID: sid,
-            F_REV: str(rev),
-            F_DELTA: delta_text,
-        }),
-    )
+                       delta_text: str, idem: str | None = None,
+                       ) -> HttpRequest:
+    """A subsequent save: only the difference, in ``delta``.
+
+    ``idem`` attaches an idempotency key, as for full saves.
+    """
+    fields = {F_SID: sid, F_REV: str(rev), F_DELTA: delta_text}
+    if idem is not None:
+        fields[F_IDEM] = idem
+    return HttpRequest("POST", _doc_url(doc_id), body=encode_form(fields))
 
 
 def fetch_request(doc_id: str) -> HttpRequest:

@@ -10,6 +10,11 @@ literal store of :mod:`repro.services.gdocs.storage`:
   rejected with ``conflict=1`` (the real server ran operational
   transforms; rejection models the *client-visible* outcome — the
   resync dance — without reimplementing Google's merge);
+* idempotency-key deduplication: a save carrying an ``idem`` form field
+  the server has already answered (same session) gets the cached Ack
+  back without re-applying — what makes client retries and duplicated/
+  late-delivered requests safe under the fault model of
+  :mod:`repro.net.faults`;
 * the server-side features the extension must break: spell checking,
   translation, export, and drawing (SVII-A's functionality losses), all
   of which read the *stored* content — which is exactly why they stop
@@ -22,6 +27,7 @@ plugs straight into :class:`repro.net.channel.Channel`.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 
 from repro.encoding.formenc import encode_form
 from repro.errors import ProtocolError, QuotaExceededError
@@ -45,6 +51,11 @@ _REQ_FEATURE = _REQ.counter("feature")
 _REQ_ERROR = _REQ.counter("error")
 _STORED_BYTES = _OBS.gauge("stored_bytes")
 _MERGES = _OBS.counter("merges")
+_DEDUP_HITS = _OBS.counter("dedup_hits")
+
+#: idempotency-key responses remembered per server (a ring; replays of
+#: saves older than this window are no longer deduplicated)
+IDEM_CACHE_SIZE = 256
 
 
 class EditSession:
@@ -78,6 +89,11 @@ class GDocsServer:
         self._sessions: dict[str, EditSession] = {}
         self._sid_counter = itertools.count(1)
         self.merges_performed = 0
+        #: (sid, idempotency key) -> the Ack already sent for that save;
+        #: a retransmit (client retry or network duplicate) replays the
+        #: cached answer instead of re-applying the content
+        self._idem_cache: OrderedDict[tuple[str, str], HttpResponse] = \
+            OrderedDict()
 
     def _censor(self, content: str) -> HttpResponse | None:
         if not self.reject_encrypted:
@@ -154,8 +170,34 @@ class GDocsServer:
             raise ProtocolError(f"invalid session {sid!r} for {doc_id!r}")
         return session
 
+    # -- idempotency -----------------------------------------------------
+
+    def _replayed(self, session: EditSession,
+                  form: dict[str, str]) -> HttpResponse | None:
+        """The cached Ack for this idempotency key, if already answered."""
+        idem = form.get(protocol.F_IDEM)
+        if not idem:
+            return None
+        cached = self._idem_cache.get((session.sid, idem))
+        if cached is not None:
+            _DEDUP_HITS.inc()
+        return cached
+
+    def _remember(self, session: EditSession, form: dict[str, str],
+                  response: HttpResponse) -> HttpResponse:
+        """Cache a save's Ack under its idempotency key (ring-capped)."""
+        idem = form.get(protocol.F_IDEM)
+        if idem:
+            self._idem_cache[(session.sid, idem)] = response
+            while len(self._idem_cache) > IDEM_CACHE_SIZE:
+                self._idem_cache.popitem(last=False)
+        return response
+
     def _full_save(self, doc_id: str, form: dict[str, str]) -> HttpResponse:
         session = self._session(form, doc_id)
+        replayed = self._replayed(session, form)
+        if replayed is not None:
+            return replayed
         content = form[protocol.F_DOC_CONTENTS]
         refused = self._censor(content)
         if refused is not None:
@@ -165,14 +207,18 @@ class GDocsServer:
             # Identical re-upload (typically a session's opening save):
             # no new revision — keeps merge windows across sessions open.
             session.saw_full_save = True
-            return self._ack(doc, conflict=False)
+            return self._remember(session, form,
+                                  self._ack(doc, conflict=False))
         doc = self.store.set_content(doc_id, content)
         session.saw_full_save = True
         _STORED_BYTES.set(self._stored_bytes())
-        return self._ack(doc, conflict=False)
+        return self._remember(session, form, self._ack(doc, conflict=False))
 
     def _delta_save(self, doc_id: str, form: dict[str, str]) -> HttpResponse:
         session = self._session(form, doc_id)
+        replayed = self._replayed(session, form)
+        if replayed is not None:
+            return replayed
         if not session.saw_full_save:
             raise ProtocolError(
                 "protocol violation: delta save before the session's "
@@ -184,10 +230,11 @@ class GDocsServer:
             if self.merge_concurrent and 0 <= base_rev < doc.revision:
                 merged = self._merge_stale_delta(doc_id, base_rev, form)
                 if merged is not None:
-                    return merged
+                    return self._remember(session, form, merged)
             # Someone else advanced the document: reject and let the
             # client resync from contentFromServer.
-            return self._ack(doc, conflict=True)
+            return self._remember(session, form,
+                                  self._ack(doc, conflict=True))
         if self.reject_encrypted:
             from repro.core.delta import Delta
             candidate = Delta.parse(form[protocol.F_DELTA]).apply(doc.content)
@@ -196,7 +243,9 @@ class GDocsServer:
                 return refused
         doc = self.store.apply_delta(doc_id, form[protocol.F_DELTA])
         _STORED_BYTES.set(self._stored_bytes())
-        return self._ack(doc, conflict=False, echo_content=False)
+        return self._remember(session, form,
+                              self._ack(doc, conflict=False,
+                                        echo_content=False))
 
     def _merge_stale_delta(self, doc_id: str, base_rev: int,
                            form: dict[str, str]) -> HttpResponse | None:

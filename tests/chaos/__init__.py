@@ -1,0 +1,1 @@
+"""Chaos suite: the fault matrix of docs/faults.md."""

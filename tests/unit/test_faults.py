@@ -1,0 +1,234 @@
+"""repro.net.faults: the seeded fault plan, kind by kind."""
+
+import pytest
+
+from repro.errors import NetworkTimeoutError
+from repro.net.faults import FAULT_KINDS, FaultPlan, FaultSpec, updates_only
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.latency import SimClock
+from repro.obs import capture
+
+
+def _save(i: int = 0) -> HttpRequest:
+    return HttpRequest("POST", f"http://h/Doc?docID=d&i={i}",
+                       body=f"sid=s&rev={i}&delta=%3D4")
+
+
+def _fetch() -> HttpRequest:
+    return HttpRequest("GET", "http://h/Doc?docID=d")
+
+
+class RecordingServer:
+    """Echoes 200 and remembers every request body it was handed."""
+
+    def __init__(self):
+        self.seen: list[str] = []
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        self.seen.append(request.body)
+        return HttpResponse(200, f"ok:{len(self.seen)}")
+
+
+def deliver(plan, request, server=None, clock=None):
+    server = server if server is not None else RecordingServer()
+    clock = clock if clock is not None else SimClock()
+    return plan.deliver(request, server, clock), server, clock
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="gremlins")
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(kind="drop", rate=1.5)
+
+    def test_bad_where_rejected(self):
+        with pytest.raises(ValueError, match="where"):
+            FaultSpec(kind="corrupt", where="sideways")
+
+    def test_updates_only_predicate(self):
+        assert updates_only(_save())
+        assert not updates_only(_fetch())
+        assert not updates_only(HttpRequest("POST", "http://h/Doc",
+                                            body=""))
+
+
+class TestKinds:
+    def test_clean_plan_is_transparent(self):
+        plan = FaultPlan([])
+        (request, response), server, _ = deliver(plan, _save())
+        assert response.status == 200
+        assert server.seen == [_save().body]
+        assert plan.injections == []
+
+    def test_drop_times_out_before_the_server(self):
+        plan = FaultPlan([FaultSpec(kind="drop", at=(0,))],
+                         timeout_seconds=2.5)
+        server, clock = RecordingServer(), SimClock()
+        with pytest.raises(NetworkTimeoutError):
+            plan.deliver(_save(), server, clock)
+        assert server.seen == []           # never arrived
+        assert clock.now() == 2.5          # the client waited it out
+        assert plan.injections == [(0, "drop")]
+
+    def test_blackhole_processes_then_times_out(self):
+        plan = FaultPlan([FaultSpec(kind="blackhole", at=(0,))])
+        server, clock = RecordingServer(), SimClock()
+        with pytest.raises(NetworkTimeoutError, match="DID process"):
+            plan.deliver(_save(), server, clock)
+        assert len(server.seen) == 1       # the save landed
+
+    def test_delay_advances_the_clock_only(self):
+        plan = FaultPlan([FaultSpec(kind="delay", at=(0,),
+                                    delay_seconds=0.9)])
+        (request, response), server, clock = deliver(plan, _save())
+        assert response.ok and len(server.seen) == 1
+        assert clock.now() == 0.9
+
+    def test_dup_delivers_twice(self):
+        plan = FaultPlan([FaultSpec(kind="dup", at=(0,))])
+        (request, response), server, _ = deliver(plan, _save())
+        assert len(server.seen) == 2
+        assert response.body == "ok:2"     # the client hears the second
+
+    def test_reorder_holds_then_flushes_after_successor(self):
+        plan = FaultPlan([FaultSpec(kind="reorder", at=(0,))])
+        server, clock = RecordingServer(), SimClock()
+        with pytest.raises(NetworkTimeoutError):
+            plan.deliver(_save(0), server, clock)
+        assert server.seen == []           # held, not delivered
+        plan.deliver(_save(1), server, clock)
+        # the successor reached the server FIRST; the held request
+        # landed late and its response went nowhere
+        assert server.seen == [_save(1).body, _save(0).body]
+
+    def test_late_delivery_failure_is_invisible(self):
+        plan = FaultPlan([FaultSpec(kind="reorder", at=(0,))])
+
+        def flaky(request):
+            if "i=0" in request.url:
+                raise RuntimeError("late packet rejected")
+            return HttpResponse(200, "ok")
+
+        clock = SimClock()
+        with pytest.raises(NetworkTimeoutError):
+            plan.deliver(_save(0), flaky, clock)
+        request, response = plan.deliver(_save(1), flaky, clock)
+        assert response.ok                 # the late crash never surfaces
+
+    def test_truncate_request_shortens_body(self):
+        plan = FaultPlan([FaultSpec(kind="truncate", at=(0,))], seed=5)
+        (request, response), server, _ = deliver(plan, _save())
+        assert len(server.seen[0]) < len(_save().body)
+        assert request.body == server.seen[0]
+
+    def test_corrupt_response_flips_one_char(self):
+        plan = FaultPlan(
+            [FaultSpec(kind="corrupt", at=(0,), where="response")],
+            seed=5,
+        )
+        (request, response), server, _ = deliver(plan, _save())
+        assert server.seen == [_save().body]   # request untouched
+        clean = "ok:1"
+        assert response.body != clean
+        assert len(response.body) == len(clean)
+
+    def test_http_5xx_fabricated_without_server(self):
+        plan = FaultPlan([FaultSpec(kind="http_5xx", at=(0,),
+                                    status=502)])
+        (request, response), server, _ = deliver(plan, _save())
+        assert response.status == 502
+        assert server.seen == []           # the server never saw it
+
+    def test_http_429_carries_retry_after(self):
+        plan = FaultPlan([FaultSpec(kind="http_429", at=(0,),
+                                    retry_after=3.0)])
+        (request, response), server, _ = deliver(plan, _save())
+        assert response.status == 429
+        assert response.headers["Retry-After"] == "3.0"
+        assert server.seen == []
+
+
+class TestScheduling:
+    def test_match_restricts_eligibility(self):
+        plan = FaultPlan([FaultSpec(kind="drop", rate=1.0,
+                                    match=updates_only)])
+        (request, response), server, clock = deliver(plan, _fetch())
+        assert response.ok                 # fetches sail through
+        with pytest.raises(NetworkTimeoutError):
+            plan.deliver(_save(), server, clock)
+
+    def test_limit_caps_injections(self):
+        plan = FaultPlan([FaultSpec(kind="drop", rate=1.0, limit=2)])
+        server, clock = RecordingServer(), SimClock()
+        for _ in range(2):
+            with pytest.raises(NetworkTimeoutError):
+                plan.deliver(_save(), server, clock)
+        request, response = plan.deliver(_save(), server, clock)
+        assert response.ok
+        assert len(plan.injections) == 2
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan([
+            FaultSpec(kind="delay", at=(0,)),
+            FaultSpec(kind="drop", at=(0,)),
+        ])
+        (request, response), _, _ = deliver(plan, _save())
+        assert response.ok                 # delay won, drop never fired
+        assert plan.injections == [(0, "delay")]
+
+    def test_quiesce_stops_injection(self):
+        plan = FaultPlan([FaultSpec(kind="drop", rate=1.0)])
+        plan.quiesce()
+        (request, response), _, _ = deliver(plan, _save())
+        assert response.ok and plan.injections == []
+
+    def test_observed_includes_lost_requests(self):
+        plan = FaultPlan([FaultSpec(kind="drop", at=(0,))])
+        server, clock = RecordingServer(), SimClock()
+        with pytest.raises(NetworkTimeoutError):
+            plan.deliver(_save(), server, clock)
+        assert [r.body for r in plan.observed] == [_save().body]
+
+    def test_injections_counted_in_registry(self):
+        plan = FaultPlan([FaultSpec(kind="dup", at=(0, 1))])
+        server, clock = RecordingServer(), SimClock()
+        with capture() as cap:
+            plan.deliver(_save(0), server, clock)
+            plan.deliver(_save(1), server, clock)
+        assert cap["net.faults.injected"] == 2
+        assert cap["net.faults.dup"] == 2
+
+
+class TestDeterminism:
+    def _script(self, seed):
+        plan = FaultPlan.uniform(0.5, seed=seed)
+        server, clock = RecordingServer(), SimClock()
+        outcomes = []
+        for i in range(12):
+            try:
+                _, response = plan.deliver(_save(i), server, clock)
+                outcomes.append(response.status)
+            except NetworkTimeoutError:
+                outcomes.append("timeout")
+        return plan.injections, outcomes, server.seen, clock.now()
+
+    def test_same_seed_replays_identically(self):
+        assert self._script(42) == self._script(42)
+
+    def test_different_seeds_diverge(self):
+        assert self._script(42) != self._script(43)
+
+    def test_every_kind_reachable_from_uniform(self):
+        seen: set[str] = set()
+        plan = FaultPlan.uniform(0.35, seed=9)
+        server, clock = RecordingServer(), SimClock()
+        for i in range(200):
+            try:
+                plan.deliver(_save(i), server, clock)
+            except NetworkTimeoutError:
+                pass
+        seen = {kind for _, kind in plan.injections}
+        assert seen == set(FAULT_KINDS)

@@ -200,3 +200,55 @@ class TestUrlParseCache:
         req = HttpRequest("GET", "http://h/p?a=1")
         req.query["a"] = "poisoned"
         assert req.query == {"a": "1"}
+
+
+class TestChannelWithFaults:
+    """The faults hook point: ordering against mediator and tamperers."""
+
+    def test_faults_see_post_tamperer_request(self):
+        from repro.net.faults import FaultPlan
+
+        plan = FaultPlan([])
+        ch = Channel(_echo_server, faults=plan)
+        ch.set_tamperers(on_request=lambda r: r.with_body("TAMPERED"))
+        ch.send(HttpRequest("POST", "http://h/p", body="original"))
+        assert [r.body for r in plan.observed] == ["TAMPERED"]
+
+    def test_lost_exchange_is_not_logged(self):
+        from repro.errors import NetworkTimeoutError
+        from repro.net.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec(kind="drop", at=(0,))])
+        ch = Channel(_echo_server, faults=plan)
+        with pytest.raises(NetworkTimeoutError):
+            ch.send(HttpRequest("POST", "http://h/p", body="x"))
+        assert len(ch.exchange_log) == 0   # nothing completed on the wire
+        assert len(plan.observed) == 1     # but an adversary saw it leave
+
+    def test_fault_timeout_advances_channel_clock(self):
+        from repro.errors import NetworkTimeoutError
+        from repro.net.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan([FaultSpec(kind="drop", at=(0,))],
+                         timeout_seconds=1.5)
+        ch = Channel(_echo_server, faults=plan)
+        with pytest.raises(NetworkTimeoutError):
+            ch.send(HttpRequest("POST", "http://h/p", body="x"))
+        assert ch.clock.now() == 1.5
+
+    def test_mediator_drop_preempts_faults(self):
+        from repro.net.faults import FaultPlan, FaultSpec
+
+        class DropAll:
+            def on_request(self, request):
+                return None
+
+            def on_response(self, request, response):
+                return response
+
+        plan = FaultPlan([FaultSpec(kind="dup", rate=1.0)])
+        ch = Channel(_echo_server, faults=plan)
+        ch.set_mediator(DropAll())
+        with pytest.raises(BlockedRequestError):
+            ch.send(HttpRequest("POST", "http://h/p", body="x"))
+        assert plan.observed == []         # fail-closed: never on the wire

@@ -1,0 +1,120 @@
+"""repro.net.policy: deadline-bounded seeded backoff."""
+
+import pytest
+
+from repro.net.http import HttpResponse
+from repro.net.latency import SimClock
+from repro.net.policy import (
+    RETRYABLE_STATUSES,
+    RetryPolicy,
+    RetryState,
+    retry_after_of,
+)
+
+
+def _no_jitter(**kw) -> RetryPolicy:
+    return RetryPolicy(jitter=0.0, **kw)
+
+
+class TestBackoffSchedule:
+    def test_exponential_then_capped(self):
+        policy = _no_jitter(base_delay=1.0, multiplier=2.0, max_delay=5.0,
+                            max_attempts=6, deadline=1000.0)
+        state = policy.make_state(SimClock())
+        delays = [state.backoff() for _ in range(5)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_attempt_budget_exhausts(self):
+        policy = _no_jitter(max_attempts=3, deadline=1000.0)
+        state = policy.make_state(SimClock())
+        assert state.backoff() is not None
+        assert state.backoff() is not None
+        assert state.backoff() is None      # 3 attempts spent
+        assert state.attempts == 3
+
+    def test_deadline_exhausts_on_sim_clock(self):
+        clock = SimClock()
+        policy = _no_jitter(base_delay=1.0, max_attempts=99, deadline=5.0)
+        state = policy.make_state(clock)
+        spent = 0.0
+        while (delay := state.backoff()) is not None:
+            spent += delay
+            clock.advance(delay)
+        assert spent <= 5.0
+        # the very next ask is refused because delay would cross it
+        assert state.backoff() is None
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5, seed=11,
+                             deadline=1000.0, max_attempts=99)
+        state = policy.make_state(SimClock())
+        first = state.backoff()
+        assert 0.5 <= first <= 1.5
+        replay = RetryPolicy(base_delay=1.0, jitter=0.5, seed=11,
+                             deadline=1000.0,
+                             max_attempts=99).make_state(SimClock())
+        assert replay.backoff() == first
+
+    def test_states_get_distinct_jitter_streams(self):
+        policy = RetryPolicy(jitter=0.5, seed=3, deadline=1000.0)
+        a = policy.make_state(SimClock())
+        b = policy.make_state(SimClock())
+        assert a.backoff() != b.backoff()
+
+    def test_retry_after_raises_the_floor(self):
+        policy = _no_jitter(base_delay=0.25, deadline=1000.0)
+        state = policy.make_state(SimClock())
+        asked = HttpResponse(429, "slow down",
+                             headers={"Retry-After": "4.0"})
+        assert state.backoff(asked) == 4.0
+
+    def test_elapsed_tracks_the_sim_clock(self):
+        clock = SimClock()
+        state = RetryPolicy().make_state(clock)
+        clock.advance(2.5)
+        assert state.elapsed == 2.5
+
+
+class TestClassification:
+    def test_retryable_statuses(self):
+        policy = RetryPolicy()
+        for status in sorted(RETRYABLE_STATUSES):
+            assert policy.retryable(HttpResponse(status, ""))
+        for status in (200, 400, 403, 404, 409):
+            assert not policy.retryable(HttpResponse(status, ""))
+
+    def test_custom_retry_statuses(self):
+        policy = RetryPolicy(retry_statuses=frozenset({418}))
+        assert policy.retryable(HttpResponse(418, ""))
+        assert not policy.retryable(HttpResponse(503, ""))
+
+
+class TestRetryAfter:
+    def test_absent_header(self):
+        assert retry_after_of(HttpResponse(429, "")) is None
+        assert retry_after_of(None) is None
+
+    def test_numeric_header(self):
+        response = HttpResponse(429, "", headers={"Retry-After": "2.5"})
+        assert retry_after_of(response) == 2.5
+
+    def test_junk_and_negative_ignored(self):
+        junk = HttpResponse(429, "", headers={"Retry-After": "soon"})
+        assert retry_after_of(junk) is None
+        negative = HttpResponse(429, "", headers={"Retry-After": "-1"})
+        assert retry_after_of(negative) is None
+
+
+class TestNoWallClock:
+    def test_backoff_consumes_no_real_time(self):
+        """The whole schedule is simulated: exhausting a 45 s deadline
+        must not sleep for 45 s of wall-clock."""
+        import time
+        clock = SimClock()
+        policy = RetryPolicy(seed=1)
+        state = policy.make_state(clock)
+        started = time.monotonic()
+        while (delay := state.backoff()) is not None:
+            clock.advance(delay)
+        assert time.monotonic() - started < 1.0
+        assert clock.now() > 0.0

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""docs-check: fail when the docs drift from the source tree.
+
+The documentation cites three kinds of machine-checkable names, always
+in backticks:
+
+* **metric names** (``net.faults.injected``, ``client.retries.*``) —
+  must exist in the obs registry after importing every ``repro``
+  module (a trailing ``.*`` checks the prefix has at least one metric);
+* **module / attribute paths** (``repro.net.faults.FaultPlan``) — must
+  import / resolve;
+* **repo file paths** (``src/repro/net/faults.py``,
+  ``tests/chaos/test_fault_matrix.py::test_...``) — must exist on disk
+  (a ``::test`` suffix additionally greps the named test into the
+  file).
+
+Anything else in backticks (shell lines, field names, prose) is
+ignored.  Run via ``make docs-check`` (part of ``make test``); exits
+non-zero listing every stale citation with its file and line.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import pkgutil
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: the documents whose citations are contractual
+DOCS = sorted(REPO.glob("docs/*.md")) + [
+    REPO / "EXPERIMENTS.md", REPO / "README.md",
+]
+
+BACKTICKED = re.compile(r"`([^`\n]+)`")
+#: dotted lowercase name, optionally ending in ".*" — metric shaped
+METRIC = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+(\.\*)?$")
+#: python path rooted at the package
+MODULE = re.compile(r"^repro(\.[A-Za-z_][A-Za-z0-9_]*)+$")
+#: repo-relative file, optionally with a ::test_name suffix
+FILEPATH = re.compile(
+    r"^(src|tests|docs|benchmarks|examples|tools)/[\w./-]+"
+    r"(::[\w\[\]-]+)?$"
+)
+
+
+def _load_registry() -> tuple[set[str], set[str]]:
+    """Import the whole package; return (metric names, scope roots)."""
+    sys.path.insert(0, str(REPO / "src"))
+    repro = importlib.import_module("repro")
+    for info in pkgutil.walk_packages(repro.__path__, "repro."):
+        if info.name.endswith("__main__"):
+            continue  # running the CLI module would parse argv
+        importlib.import_module(info.name)
+    from repro.obs import default_registry
+    names = set(default_registry().snapshot())
+    return names, {name.split(".")[0] for name in names}
+
+
+def _check_metric(token: str, metrics: set[str]) -> str | None:
+    if token.endswith(".*"):
+        prefix = token[:-1]  # keep the trailing dot
+        if any(name.startswith(prefix) for name in metrics):
+            return None
+        return f"no metric under prefix {token!r} in the obs registry"
+    if token in metrics:
+        return None
+    return f"metric {token!r} not in the obs registry"
+
+
+def _check_module(token: str) -> str | None:
+    parts = token.split(".")
+    # longest importable prefix, then attribute traversal for the rest
+    for cut in range(len(parts), 0, -1):
+        name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(name)
+        except ImportError:
+            continue
+        for attr in parts[cut:]:
+            if not hasattr(obj, attr):
+                return (f"{token!r}: module {name!r} has no "
+                        f"attribute {attr!r}")
+            obj = getattr(obj, attr)
+        return None
+    return f"{token!r} does not import"
+
+
+def _check_filepath(token: str) -> str | None:
+    path, _, test = token.partition("::")
+    target = REPO / path
+    if not target.exists():
+        return f"path {path!r} does not exist"
+    if test:
+        test_name = test.split("[")[0]  # strip parametrize ids
+        content = target.read_text()
+        if f"def {test_name}" not in content and \
+                f"class {test_name}" not in content:
+            return f"{path!r} defines no test {test_name!r}"
+    return None
+
+
+def main() -> int:
+    metrics, scopes = _load_registry()
+    problems: list[str] = []
+    for doc in DOCS:
+        if not doc.exists():
+            problems.append(f"{doc.relative_to(REPO)}: file missing")
+            continue
+        for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+            for token in BACKTICKED.findall(line):
+                token = token.strip()
+                where = f"{doc.relative_to(REPO)}:{lineno}"
+                if MODULE.match(token):
+                    error = _check_module(token)
+                elif FILEPATH.match(token) and "/" in token:
+                    error = _check_filepath(token)
+                elif METRIC.match(token) and \
+                        token.split(".")[0] in scopes:
+                    # docs sometimes cite modules repro-relatively
+                    # (`net.channel`); an importable name is not a
+                    # metric citation
+                    if _check_module(f"repro.{token}") is None:
+                        continue
+                    error = _check_metric(token, metrics)
+                else:
+                    continue
+                if error:
+                    problems.append(f"{where}: {error}")
+    if problems:
+        print("docs-check: documentation drifted from the source tree:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs-check: {len(DOCS)} documents verified against "
+          f"{len(metrics)} registered metrics and the source tree")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
