@@ -3,13 +3,34 @@
 
 PYTHON ?= python3
 
-.PHONY: install test metrics-smoke docs-check bench bench-edits bench-faults figures examples all clean
+# differential-fuzzer budgets: FUZZ_ITERS bounds the CI run inside
+# `make test`; fuzz-long runs the deep profile at FUZZ_LONG_ITERS.
+# COVERAGE_MIN is the line-coverage threshold `make coverage` enforces.
+FUZZ_ITERS ?= 2000
+FUZZ_LONG_ITERS ?= 20000
+COVERAGE_MIN ?= 80
+
+.PHONY: install test metrics-smoke docs-check fuzz fuzz-long mutation-smoke coverage bench bench-edits bench-faults figures examples all clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: metrics-smoke docs-check
-	PYTHONPATH=src $(PYTHON) -m pytest tests/
+test: metrics-smoke docs-check fuzz
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+
+fuzz:             ## seeded differential fuzzing (bounded CI budget) + oracle teeth check
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(FUZZ_ITERS)
+	$(PYTHON) tools/mutation_smoke.py
+
+fuzz-long:        ## the deep profile at full budget, plus the slow-marked tests
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(FUZZ_LONG_ITERS) --profile deep -v
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m slow
+
+mutation-smoke:   ## prove the fuzz oracle catches an injected RPC-checksum bug
+	$(PYTHON) tools/mutation_smoke.py
+
+coverage:         ## line coverage (pytest-cov when installed, else stdlib fallback)
+	$(PYTHON) tools/coverage_tool.py --min $(COVERAGE_MIN) --report
 
 metrics-smoke:    ## end-to-end check of the repro.obs pipeline + sidecar schema
 	PYTHONPATH=src $(PYTHON) benchmarks/metrics_smoke.py

@@ -18,6 +18,9 @@ documents as files:
   converged
 * ``stats``    — render a JSON metrics sidecar (as written by
   ``--metrics-json`` or the benchmark harness) as a readable listing
+* ``fuzz``     — the differential fuzzer (``repro.fuzz``): seeded edit
+  traces through the full stack, every step checked against a
+  plaintext oracle; failures shrink to minimal replay files
 
 Every command accepts ``--metrics`` (print the populated metrics
 registry to stderr when done) and ``--metrics-json PATH`` (write the
@@ -257,6 +260,59 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if converged else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``repro fuzz``: run the differential fuzzer; exit 1 on any
+    invariant violation (failures are shrunk and written as replay
+    files when ``--corpus-dir`` is given)."""
+    from repro.fuzz import FuzzRunner
+    from repro.fuzz.generators import Trace
+    from repro.fuzz.runner import run_trace
+
+    if args.replay:
+        import json as _json
+
+        data = _json.loads(_read(args.replay))
+        # accept both a bare trace and a corpus file wrapping one
+        trace = Trace.from_dict(data.get("trace", data))
+        violation = run_trace(trace)
+        if violation is None:
+            print(f"replay {args.replay}: no violation "
+                  f"(seed {trace.seed}, mode {trace.mode})")
+            return 0
+        print(f"replay {args.replay}: [{violation.kind}] "
+              f"step {violation.step}: {violation.detail}",
+              file=sys.stderr)
+        return 1
+
+    runner = FuzzRunner(
+        seed=args.seed,
+        iters=args.iters,
+        profile=args.profile,
+        mode=args.mode,
+        scheme=args.scheme,
+        corpus_dir=args.corpus_dir,
+        shrink=not args.no_shrink,
+    )
+
+    def progress(done: int, total: int) -> None:
+        print(f"  ... {done}/{total}", file=sys.stderr)
+
+    report = runner.run(progress=progress if args.verbose else None)
+    print(f"fuzz: {report.iterations} iterations "
+          f"(profile {report.profile}, seed {report.seed}) -> "
+          f"{len(report.failures)} violation(s)")
+    print(f"run digest: {report.digest}")
+    for failure in report.failures:
+        v = failure["violation"]
+        where = failure.get("corpus_file", "(no corpus dir)")
+        print(f"  seed {failure['seed']}: [{v['kind']}] {v['detail']}",
+              file=sys.stderr)
+        print(f"    shrunk replay: {where}", file=sys.stderr)
+        print(f"    rerun: repro fuzz --seed {failure['seed']} "
+              f"--iters 1 --profile {report.profile}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 # -- wiring ------------------------------------------------------------------
 
 
@@ -333,6 +389,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-exchange fault probability per kind")
     p.add_argument("--scheme", choices=["recb", "rpc"], default="rpc")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("fuzz", help="run the differential fuzzer")
+    add_metrics(p)
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; case i uses trace seed SEED+i, so "
+                        "any failure replays alone by its seed")
+    p.add_argument("--iters", type=int, default=2000,
+                   help="number of seeded traces to run (default 2000)")
+    p.add_argument("--profile", default="ci",
+                   choices=["ci", "quick", "engine", "deep"],
+                   help="trace-shape profile (default ci)")
+    p.add_argument("--mode", choices=["engine", "session", "concurrent"],
+                   help="force one execution mode (default: mixed)")
+    p.add_argument("--scheme", choices=["recb", "rpc"],
+                   help="force one scheme (default: mixed)")
+    p.add_argument("--corpus-dir", metavar="DIR",
+                   help="write shrunk failing traces as replay JSON "
+                        "files under DIR")
+    p.add_argument("--replay", metavar="FILE",
+                   help="re-run one saved trace JSON instead of fuzzing")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report raw failing traces without minimizing")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print progress every 500 cases")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("stats", help="render a JSON metrics sidecar")
     p.add_argument("infile", help="sidecar path (from --metrics-json "

@@ -301,8 +301,19 @@ class GDocsClient:
 
         outcome = SaveOutcome(kind=kind, ack=ack, conflict=ack.conflict,
                               attempts=state.attempts)
-        if ack.conflict or ack.merged:
+        if ack.conflict:
             self._resync_and_rebase(outcome, state)
+        elif ack.merged:
+            # The merged content already includes this save's delta
+            # (the server transformed and applied it); adopt it as the
+            # legacy path does.  Rebasing pending edits over it — the
+            # conflict recovery — would apply them a second time.
+            self._rev = ack.rev
+            self._did_full_save = True
+            if ack.content_from_server:
+                self.editor.resync(ack.content_from_server)
+            else:
+                self.editor.mark_synced()
         else:
             self._rev = ack.rev
             self._did_full_save = True
@@ -374,7 +385,21 @@ class GDocsClient:
             self.complaints.append(complaint)
             outcome.complaints.append(complaint)
             self._did_full_save = False
-            self._rev = max(self._rev, rev if ack is None else ack.rev)
+            # adopt the server's stated revision outright: a corrupted
+            # Ack may have forged our _rev HIGHER than the server's
+            # truth, and max() would keep the forgery forever (every
+            # later save conflicting on a revision that never existed)
+            self._rev = rev if ack is None else ack.rev
+            return
+
+        if fetched == local:
+            # The save we believed lost (or conflicted) actually
+            # landed: the server's text already IS our local text.
+            # There is nothing to replay — rebasing the pending edit
+            # over it would apply the edit a second time.
+            self.editor.resync(fetched)
+            self._rev = rev
+            self._did_full_save = True
             return
 
         pending = derive_delta(synced, local)
@@ -389,7 +414,7 @@ class GDocsClient:
             complaint = CONFLICT_COMPLAINT
             self.complaints.append(complaint)
             outcome.complaints.append(complaint)
-        self._rev = max(self._rev, rev)
+        self._rev = rev
         self._did_full_save = True
 
     @staticmethod

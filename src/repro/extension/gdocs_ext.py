@@ -32,6 +32,7 @@ from repro.errors import (
     DecryptionError,
     IntegrityError,
     PasswordError,
+    ProtocolError,
 )
 from repro.extension.countermeasures import Countermeasures
 from repro.extension.freshness import FreshnessMonitor
@@ -218,7 +219,14 @@ class GDocsExtension:
         doc_id = request.query.get("docID", "")
         if request.method == "GET":
             return self._decrypt_fetch(doc_id, response)
-        fields = response.form
+        try:
+            fields = response.form
+        except ProtocolError:
+            # The body was mangled in flight and no longer parses as a
+            # form.  Pass it through untouched: the client's own Ack
+            # parse fails next and takes its malformed-ack recovery
+            # path, which is the correct owner of that decision.
+            return response
         if protocol.A_CONTENT_HASH in fields:
             return self._neutralize_ack(doc_id, response, fields)
         if protocol.F_SID in fields:

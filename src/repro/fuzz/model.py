@@ -1,0 +1,208 @@
+"""The plaintext oracle and the invariant checks it anchors.
+
+The differential idea: every trace op is interpreted twice — once by
+the system under test (EncryptedDocument / PrivateEditingSession) and
+once by :func:`apply_op`, which edits a plain Python string with slice
+arithmetic.  The string *is* the specification; any divergence between
+it and what decrypts out of the encrypted pipeline is a bug by
+definition, no matter which layer introduced it.
+
+Checks raise :class:`InvariantViolation` carrying a :class:`Violation`
+record (kind, step, detail).  The ``kind`` string doubles as the
+failure identity during shrinking: a candidate smaller trace only
+counts as "still failing" if it fails with the *same* kind, so the
+shrinker cannot wander from one bug to a different one.
+
+Invariant catalogue (the names used in ``Violation.kind``):
+
+``oracle-divergence``
+    ``doc.text != oracle`` — decrypt(state) no longer equals the
+    plaintext the user typed.
+``length-mismatch``
+    ``doc.char_length`` disagrees with the oracle length.
+``index-checkrep``
+    the BlockIndex's own representation invariant failed (skip-list
+    widths, AVL balance, ...).
+``index-widths``
+    block widths no longer sum to ``total_chars`` — the paper's
+    skip-count law.
+``roundtrip``
+    re-loading ``doc.wire()`` fresh (full parse + decrypt + RPC
+    checksum verify) failed or produced different plaintext.
+``cdelta-divergence``
+    the ciphertext delta applied server-side (flat string and/or
+    piece table) does not reproduce the client's rewritten wire.
+``convergence``
+    after faults quiesce, client text and decrypted server state (or
+    two merging clients) disagree.
+``save-failed``
+    a save that must succeed (post-quiesce) returned a typed failure.
+``plaintext-leak``
+    a plaintext sentinel appeared in bytes that crossed the Channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.delta import Delta
+from repro.core.document import EncryptedDocument, load_document
+from repro.errors import ReproError
+from repro.fuzz.generators import POS_SCALE
+
+__all__ = [
+    "Violation",
+    "InvariantViolation",
+    "resolve_pos",
+    "apply_op",
+    "op_delta",
+    "check_document",
+    "check_roundtrip",
+    "check_store",
+    "check_equal",
+    "check_no_leak",
+]
+
+
+@dataclass
+class Violation:
+    """One invariant failure, serializable alongside its trace."""
+
+    kind: str
+    step: int = -1          #: op index in the trace (-1: end-of-trace check)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """The violation as a plain dict for corpus serialization."""
+        return {"kind": self.kind, "step": self.step, "detail": self.detail}
+
+
+class InvariantViolation(ReproError):
+    """Raised by the checks below; ``.violation`` has the record."""
+
+    def __init__(self, violation: Violation):
+        self.violation = violation
+        super().__init__(
+            f"[{violation.kind}] step {violation.step}: {violation.detail}"
+        )
+
+
+def _fail(kind: str, step: int, detail: str) -> None:
+    raise InvariantViolation(Violation(kind=kind, step=step, detail=detail))
+
+
+def _clip(text: str, limit: int = 80) -> str:
+    return text if len(text) <= limit else text[:limit] + f"...(+{len(text) - limit})"
+
+
+# -- oracle ------------------------------------------------------------------
+
+
+def resolve_pos(posq: int, length: int) -> int:
+    """Map a position quantum (0..POS_SCALE) onto ``0..length``."""
+    if length <= 0:
+        return 0
+    return min(length, posq * (length + 1) // (POS_SCALE + 1))
+
+
+def op_delta(op: tuple, length: int) -> Delta | None:
+    """The :class:`Delta` an edit op denotes against a document of
+    ``length`` chars, or None when it resolves to a no-op."""
+    kind = op[0]
+    if kind == "i":
+        _, posq, text = op[0], op[1], op[2]
+        if not text:
+            return None
+        return Delta.insertion(resolve_pos(posq, length), text)
+    if kind == "d":
+        pos = resolve_pos(op[1], length)
+        count = min(op[2], length - pos)
+        if count <= 0:
+            return None
+        return Delta.deletion(pos, count)
+    if kind == "r":
+        pos = resolve_pos(op[1], length)
+        count = min(op[2], length - pos)
+        text = op[3]
+        if count <= 0 and not text:
+            return None
+        if count <= 0:
+            return Delta.insertion(pos, text)
+        if not text:
+            return Delta.deletion(pos, count)
+        return Delta.replacement(pos, count, text)
+    raise ValueError(f"not an edit op: {op!r}")
+
+
+def apply_op(text: str, op: tuple) -> str:
+    """The specification: apply an edit op to a plain string."""
+    kind = op[0]
+    pos = resolve_pos(op[1], len(text))
+    if kind == "i":
+        return text[:pos] + op[2] + text[pos:]
+    if kind == "d":
+        return text[:pos] + text[pos + op[2]:] if op[2] > 0 else text
+    if kind == "r":
+        return text[:pos] + op[3] + text[pos + op[2]:]
+    raise ValueError(f"not an edit op: {op!r}")
+
+
+# -- checks ------------------------------------------------------------------
+
+
+def check_document(doc: EncryptedDocument, oracle: str, step: int) -> None:
+    """Per-step document laws: text, length, index rep, width sums."""
+    got = doc.text
+    if got != oracle:
+        _fail("oracle-divergence", step,
+              f"doc.text={_clip(got)!r} oracle={_clip(oracle)!r}")
+    if doc.char_length != len(oracle):
+        _fail("length-mismatch", step,
+              f"char_length={doc.char_length} oracle={len(oracle)}")
+    index = doc._index
+    try:
+        index.checkrep()
+    except Exception as exc:  # checkrep uses bare AssertionError too
+        _fail("index-checkrep", step, f"{type(exc).__name__}: {exc}")
+    widths = sum(width for _, width in index.items())
+    if widths != index.total_chars:
+        _fail("index-widths", step,
+              f"sum(widths)={widths} total_chars={index.total_chars}")
+
+
+def check_roundtrip(doc: EncryptedDocument, oracle: str, step: int) -> None:
+    """Full parse + decrypt (+ RPC checksum verify) of ``doc.wire()``."""
+    try:
+        fresh = load_document(doc.wire(), key_material=doc.key_material)
+    except ReproError as exc:
+        _fail("roundtrip", step, f"reload failed: {type(exc).__name__}: {exc}")
+        return
+    if fresh.text != oracle:
+        _fail("roundtrip", step,
+              f"reload={_clip(fresh.text)!r} oracle={_clip(oracle)!r}")
+
+
+def check_store(store_name: str, stored_wire: str,
+                doc: EncryptedDocument, step: int) -> None:
+    """cdelta fidelity: the server's copy equals the client rewrite."""
+    want = doc.wire()
+    if stored_wire != want:
+        _fail("cdelta-divergence", step,
+              f"{store_name} store diverged from client wire "
+              f"(server {len(stored_wire)} chars, client {len(want)})")
+
+
+def check_equal(kind: str, a: str, b: str, step: int, what: str) -> None:
+    """Generic convergence assertion with clipped diagnostics."""
+    if a != b:
+        _fail(kind, step, f"{what}: {_clip(a)!r} != {_clip(b)!r}")
+
+
+def check_no_leak(blobs, sentinel: str, step: int = -1) -> None:
+    """No plaintext sentinel in anything that crossed the Channel."""
+    needle = sentinel.encode()
+    for blob in blobs:
+        data = blob if isinstance(blob, bytes) else str(blob).encode()
+        if needle in data:
+            _fail("plaintext-leak", step,
+                  f"sentinel {sentinel!r} found in channel bytes")

@@ -1,0 +1,482 @@
+"""Trace execution: drive the real stack and check it every step.
+
+Three execution modes, selected by ``Trace.mode``:
+
+``engine``
+    The core pipeline with no network: an :class:`EncryptedDocument`
+    built over the trace's scheme × index, with the resulting cdeltas
+    applied to a *flat wire string* and a :class:`PieceTable` — the two
+    server storage models — which must stay byte-equal to the client's
+    own rewrite.  Checks run after every op; the trace ends with a
+    fresh ``load_document`` round-trip (full parse + decrypt + RPC
+    checksum verification).
+
+``session``
+    A resilient :class:`PrivateEditingSession` against a
+    :class:`GDocsServer` with the trace's fault schedule on the
+    Channel.  Mid-trace saves may fail (typed ``SaveOutcome``), but
+    after ``FaultPlan.quiesce()`` one clean save must land, the stored
+    ciphertext must decrypt to the client's text, and a lowercase
+    plaintext sentinel must never appear in anything that crossed the
+    wire (lowercase cannot occur in Base32 ciphertext).
+
+``concurrent``
+    Two sessions sharing one server.  rECB runs the merging server
+    (``merge_concurrent=True`` + ``decrypt_acks``); RPC runs the
+    rejecting server, exercising the conflict → OT-resync path.  After
+    faults quiesce, a bounded drain (save both until quiescent) plus a
+    re-open must leave both clients and the decrypted server state
+    identical — the OT convergence obligation.
+
+:class:`FuzzRunner` iterates seeds, hashes every (trace, fingerprint)
+pair into a run digest — identical seed ⇒ byte-identical digest — and
+on failure shrinks the trace and serializes a replay file under the
+corpus directory.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.document import create_document
+from repro.core.keys import KeyMaterial
+from repro.core.transform import EncryptionEngine
+from repro.crypto.random import DeterministicRandomSource
+from repro.datastructures import IndexedAVL, IndexedSkipList, ReferenceIndex
+from repro.errors import ReproError
+from repro.extension.session import PrivateEditingSession
+from repro.fuzz.generators import PROFILES, Trace, generate_trace
+from repro.fuzz.model import (
+    InvariantViolation,
+    Violation,
+    apply_op,
+    check_document,
+    check_equal,
+    check_no_leak,
+    check_roundtrip,
+    check_store,
+    op_delta,
+    resolve_pos,
+)
+from repro.net.faults import FaultPlan, FaultSpec, updates_only
+from repro.net.policy import RetryPolicy
+from repro.obs.metrics import counter
+from repro.services.gdocs.pieces import PieceTable
+from repro.services.gdocs.server import GDocsServer
+
+__all__ = ["SENTINEL", "FuzzReport", "FuzzRunner", "run_trace", "execute_trace"]
+
+#: lowercase sentinel typed into every networked trace; Base32
+#: ciphertext is uppercase-only, so seeing it on the wire is a leak
+SENTINEL = "leakcheck sentinel kilimanjaro"
+
+_PASSWORD = "fuzz-password"
+
+_INDEX_FACTORIES = {
+    "skiplist": IndexedSkipList,
+    "avl": IndexedAVL,
+    "reference": ReferenceIndex,
+}
+
+#: traces executed (each counted once, pass or fail)
+_CASES = counter("fuzz.cases")
+#: edit operations interpreted across all traces
+_OPS = counter("fuzz.ops")
+#: invariant violations observed (pre-shrink)
+_VIOLATIONS = counter("fuzz.violations")
+
+
+@functools.lru_cache(maxsize=1)
+def _engine_keys() -> KeyMaterial:
+    """One cached key for engine mode (derivation dominates otherwise)."""
+    return KeyMaterial.from_password(
+        _PASSWORD, rng=DeterministicRandomSource(0xF0)
+    )
+
+
+def _plan_from_dict(data: dict | None) -> FaultPlan | None:
+    if not data:
+        return None
+    specs = [
+        FaultSpec(
+            kind=s["kind"],
+            rate=s.get("rate", 0.0),
+            at=tuple(s.get("at") or ()),
+            limit=s.get("limit"),
+            match=updates_only if s.get("updates_only") else None,
+            where=s.get("where", "request"),
+        )
+        for s in data.get("specs", ())
+    ]
+    if not specs:
+        return None
+    return FaultPlan(specs, seed=data.get("seed", 0),
+                     timeout_seconds=data.get("timeout", 2.0))
+
+
+# -- engine mode -------------------------------------------------------------
+
+
+def _run_engine(trace: Trace) -> str:
+    doc = create_document(
+        trace.init,
+        key_material=_engine_keys(),
+        scheme=trace.scheme,
+        block_chars=trace.block_chars,
+        rng=DeterministicRandomSource(trace.seed or 1),
+        index_factory=_INDEX_FACTORIES[trace.index],
+    )
+    oracle = trace.init
+    flat = doc.wire() if trace.store in ("both", "flat") else None
+    pieces = (PieceTable(doc.wire())
+              if trace.store in ("both", "pieces") else None)
+
+    for step, op in enumerate(trace.ops):
+        if op[0] == "s":
+            continue  # engine mode has no network; saves are no-ops
+        _OPS.inc()
+        delta = op_delta(op, len(oracle))
+        oracle = apply_op(oracle, op)
+        if delta is None:
+            continue
+        cdelta = doc.apply_delta(delta)
+        if flat is not None:
+            flat = cdelta.apply(flat)
+            check_store("flat", flat, doc, step)
+        if pieces is not None:
+            cdelta.apply(pieces)
+            check_store("pieces", pieces.materialize(), doc, step)
+        check_document(doc, oracle, step)
+
+    check_roundtrip(doc, oracle, -1)
+    return doc.wire()
+
+
+# -- session mode ------------------------------------------------------------
+
+
+def _session(trace: Trace, *, server=None, seed_salt: int = 0,
+             faults=None, decrypt_acks: bool = False) -> PrivateEditingSession:
+    return PrivateEditingSession(
+        f"fuzz-{trace.seed}",
+        _PASSWORD,
+        server=server,
+        scheme=trace.scheme,
+        block_chars=trace.block_chars,
+        rng=DeterministicRandomSource((trace.seed << 4) + seed_salt + 1),
+        index_factory=_INDEX_FACTORIES[trace.index],
+        faults=faults,
+        retry_policy=RetryPolicy(seed=trace.seed + seed_salt),
+        verify_acks=True,
+        decrypt_acks=decrypt_acks,
+    )
+
+
+def _apply_session_op(session: PrivateEditingSession, op: tuple) -> None:
+    kind = op[0]
+    length = len(session.text)
+    pos = resolve_pos(op[1], length)
+    if kind == "i":
+        if op[2]:
+            session.type_text(pos, op[2])
+    elif kind == "d":
+        count = min(op[2], length - pos)
+        if count > 0:
+            session.delete_text(pos, count)
+    elif kind == "r":
+        count = min(op[2], length - pos)
+        if count > 0:
+            session.delete_text(pos, count)
+        if op[3]:
+            session.type_text(pos, op[3])
+
+
+def _leak_blobs(plan: FaultPlan | None, *sessions) -> list[str]:
+    blobs: list[str] = []
+    if plan is not None:
+        for request in plan.observed:
+            blobs.append(request.url)
+            blobs.append(request.body)
+    for session in sessions:
+        for exchange in session.channel.exchange_log:
+            blobs.append(exchange.request.body)
+            blobs.append(exchange.response.body)
+    return blobs
+
+
+def _run_session(trace: Trace) -> str:
+    plan = _plan_from_dict(trace.faults)
+    session = _session(trace, faults=plan)
+    session.open()
+    session.type_text(0, SENTINEL + " " + trace.init)
+    session.save()  # may fail mid-faults; typed outcome, never a raise
+
+    for step, op in enumerate(trace.ops):
+        if op[0] == "s":
+            session.save()
+            continue
+        _OPS.inc()
+        _apply_session_op(session, op)
+
+    if plan is not None:
+        plan.quiesce()
+    # the recovery paths legitimately need extra rounds: a garbled
+    # store takes one probe save to *detect* the damage before a full
+    # save repairs it, and a conflict resync leaves the rebased local
+    # edits pending for the next save (by design).  Keep saving until
+    # one comes back clean — ok, no conflict, no resync — within a
+    # small budget; anything more persistent is a liveness violation.
+    outcome = session.save()
+    for _ in range(5):
+        if outcome.ok and not outcome.conflict and not outcome.resynced:
+            break
+        outcome = session.save()
+    if not (outcome.ok and not outcome.conflict
+            and not outcome.resynced):
+        raise InvariantViolation(Violation(
+            "save-failed", -1,
+            f"post-quiesce saves never came back clean: "
+            f"ok={outcome.ok} conflict={outcome.conflict} "
+            f"resynced={outcome.resynced} {outcome.error}"))
+
+    recovered = EncryptionEngine(
+        password=_PASSWORD, scheme=trace.scheme
+    ).decrypt(session.server_view())
+    check_equal("convergence", recovered, session.text, -1,
+                "decrypt(server) vs client text")
+    check_no_leak(_leak_blobs(plan, session), SENTINEL)
+    return session.server_view() + "\n--\n" + session.text
+
+
+# -- concurrent mode ---------------------------------------------------------
+
+_DRAIN_ROUNDS = 12
+
+
+def _run_concurrent(trace: Trace) -> str:
+    merging = trace.scheme == "recb"
+    server = GDocsServer(merge_concurrent=merging)
+    plan = _plan_from_dict(trace.faults)
+    # faults ride on client 0's channel only: one flaky link is enough
+    # chaos, and keeps held-request replay within a single channel
+    one = _session(trace, server=server, seed_salt=0, faults=plan,
+                   decrypt_acks=merging)
+    two = _session(trace, server=server, seed_salt=7,
+                   decrypt_acks=merging)
+    sessions = (one, two)
+
+    one.open()
+    one.type_text(0, SENTINEL + " " + trace.init)
+    one.save()
+    two.open()
+    two.save()
+
+    for step, op in enumerate(trace.ops):
+        session = sessions[op[-1] % len(sessions)]
+        if op[0] == "s":
+            session.save()
+            continue
+        _OPS.inc()
+        _apply_session_op(session, op)
+
+    if plan is not None:
+        plan.quiesce()
+
+    # drain: alternate saves until both sessions are quiescent (noop)
+    for _ in range(_DRAIN_ROUNDS):
+        o1, o2 = one.save(), two.save()
+        if (o1.ok and o2.ok and o1.kind == "noop" and o2.kind == "noop"):
+            break
+        if any(o.error and "http 413" in o.error for o in (o1, o2)):
+            # A stable quota refusal is the contract's other legal
+            # terminal state: a typed SaveOutcome, not convergence.
+            # (Reachable for real: a save corrupted in flight leaves
+            # the store garbled; a second client opening before the
+            # repair sees raw ciphertext — refusing to forge plaintext
+            # is the extension's job — and edits typed into that view
+            # re-encrypt ciphertext, exploding past the server quota.)
+            check_no_leak(_leak_blobs(plan, one, two), SENTINEL)
+            return "quota-refused\n--\n" + one.server_view()
+    else:
+        raise InvariantViolation(Violation(
+            "convergence", -1,
+            f"drain did not quiesce in {_DRAIN_ROUNDS} rounds "
+            f"(last: {o1.kind}/{o1.ok} {o2.kind}/{o2.ok})"))
+
+    # refresh both editors from the server and require agreement
+    text_one = one.open()
+    text_two = two.open()
+    check_equal("convergence", text_one, text_two, -1,
+                "client texts after drain + re-open")
+    recovered = EncryptionEngine(
+        password=_PASSWORD, scheme=trace.scheme
+    ).decrypt(one.server_view())
+    check_equal("convergence", recovered, text_one, -1,
+                "decrypt(server) vs refreshed clients")
+    check_no_leak(_leak_blobs(plan, one, two), SENTINEL)
+    return one.server_view() + "\n--\n" + text_one
+
+
+_MODES = {
+    "engine": _run_engine,
+    "session": _run_session,
+    "concurrent": _run_concurrent,
+}
+
+
+def execute_trace(trace: Trace) -> str:
+    """Run ``trace``; return its fingerprint or raise
+    :class:`InvariantViolation`.  Any other exception escaping the
+    stack is itself a finding and is wrapped as a ``crash-*``
+    violation."""
+    _CASES.inc()
+    try:
+        return _MODES[trace.mode](trace)
+    except InvariantViolation:
+        raise
+    except (ReproError, AssertionError, RecursionError, ArithmeticError,
+            LookupError, TypeError, ValueError, AttributeError) as exc:
+        raise InvariantViolation(Violation(
+            f"crash-{type(exc).__name__}", -1, str(exc)[:200])) from exc
+
+
+def run_trace(trace: Trace) -> Violation | None:
+    """Non-raising wrapper: the violation for ``trace``, or None."""
+    try:
+        execute_trace(trace)
+        return None
+    except InvariantViolation as exc:
+        _VIOLATIONS.inc()
+        return exc.violation
+
+
+# -- the runner --------------------------------------------------------------
+
+
+@dataclass
+class FuzzReport:
+    """What one :meth:`FuzzRunner.run` did."""
+
+    iterations: int = 0
+    seed: int = 0
+    profile: str = "ci"
+    digest: str = ""               #: sha256 over every (trace, fingerprint)
+    failures: list[dict] = field(default_factory=list)
+    corpus_files: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        """The report as a plain dict (CLI ``--metrics-json`` style)."""
+        return {
+            "iterations": self.iterations,
+            "seed": self.seed,
+            "profile": self.profile,
+            "digest": self.digest,
+            "failures": self.failures,
+            "corpus_files": self.corpus_files,
+            "ok": self.ok,
+        }
+
+
+class FuzzRunner:
+    """Iterate seeded traces; shrink and serialize any failure.
+
+    ``seed`` anchors the whole run: case *i* uses trace seed
+    ``seed + i``, so any failing case can be replayed alone by seed.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        iters: int = 100,
+        profile: str = "ci",
+        mode: str | None = None,
+        scheme: str | None = None,
+        corpus_dir: str | Path | None = None,
+        shrink: bool = True,
+        max_failures: int = 5,
+    ):
+        if profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {profile!r}; have {sorted(PROFILES)}")
+        self.seed = seed
+        self.iters = iters
+        self.profile = profile
+        self.mode = mode
+        self.scheme = scheme
+        self.corpus_dir = Path(corpus_dir) if corpus_dir else None
+        self.shrink = shrink
+        self.max_failures = max_failures
+
+    def run(self, progress=None) -> FuzzReport:
+        """Execute the configured campaign and return its report.
+
+        Generates ``iters`` traces from consecutive seeds, runs each,
+        folds every ``(trace, fingerprint)`` pair into the replay
+        digest, and — on failure — shrinks the trace and writes a
+        corpus file.  ``progress`` (if given) is called as
+        ``progress(done, total)`` every few hundred cases.  Stops
+        early after ``max_failures`` distinct failures.
+        """
+        from repro.fuzz.shrink import shrink_trace
+
+        report = FuzzReport(seed=self.seed, profile=self.profile)
+        hasher = hashlib.sha256()
+        for i in range(self.iters):
+            trace = generate_trace(
+                self.seed + i, self.profile,
+                mode=self.mode, scheme=self.scheme,
+            )
+            violation = None
+            try:
+                fingerprint = execute_trace(trace)
+            except InvariantViolation as exc:
+                _VIOLATIONS.inc()
+                violation = exc.violation
+                fingerprint = "VIOLATION:" + violation.kind
+            hasher.update(trace.to_json().encode())
+            hasher.update(b"\x00")
+            hasher.update(fingerprint.encode())
+            hasher.update(b"\x01")
+            report.iterations += 1
+
+            if violation is not None:
+                small = (shrink_trace(trace, violation)
+                         if self.shrink else trace)
+                entry = {
+                    "seed": trace.seed,
+                    "iteration": i,
+                    "violation": violation.to_dict(),
+                    "trace": small.to_dict(),
+                }
+                report.failures.append(entry)
+                if self.corpus_dir is not None:
+                    path = self._write_corpus(small, violation)
+                    entry["corpus_file"] = str(path)
+                    report.corpus_files.append(str(path))
+                if len(report.failures) >= self.max_failures:
+                    break
+            if progress is not None and (i + 1) % 500 == 0:
+                progress(i + 1, self.iters)
+
+        report.digest = hasher.hexdigest()
+        return report
+
+    def _write_corpus(self, trace: Trace, violation: Violation) -> Path:
+        self.corpus_dir.mkdir(parents=True, exist_ok=True)
+        name = f"shrunk-{violation.kind}-seed{trace.seed}.json"
+        path = self.corpus_dir / name
+        payload = {
+            "violation": violation.to_dict(),
+            "trace": trace.to_dict(),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                   ensure_ascii=True) + "\n")
+        return path

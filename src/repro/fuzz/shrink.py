@@ -1,0 +1,163 @@
+"""Delta-debugging trace reduction.
+
+A raw failing trace can carry dozens of ops, a long initial document,
+and a multi-spec fault schedule — most of it irrelevant to the bug.
+:func:`shrink_trace` greedily minimizes it while preserving the
+*failure identity*: a candidate counts as still-failing only if
+re-running it raises an :class:`InvariantViolation` with the same
+``kind`` as the original, so the shrinker cannot drift from the bug it
+is chasing onto a different one.
+
+Strategies, applied in rounds until a fixed point (classic ddmin
+flavor, tuned for short traces):
+
+1. **op-chunk removal** — drop halves, then quarters, ... then single
+   ops;
+2. **fault-spec removal** — drop the whole schedule, then single specs;
+3. **init-text reduction** — empty, then repeated halving;
+4. **insert-text reduction** — shorten each op's inserted text (halve,
+   then first char);
+5. **scalar simplification** — positions to 0, delete counts to 1.
+
+Every candidate execution increments the ``fuzz.shrink_steps`` counter;
+``max_attempts`` bounds the whole search so a pathological case cannot
+stall a CI run.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.generators import Trace
+from repro.fuzz.model import InvariantViolation, Violation
+from repro.obs.metrics import counter
+
+__all__ = ["shrink_trace"]
+
+#: candidate re-executions performed while minimizing failures
+_SHRINK_STEPS = counter("fuzz.shrink_steps")
+
+
+def _still_fails(trace: Trace, kind: str) -> bool:
+    # imported here: runner imports shrink_trace, so a module-level
+    # import back into runner would be circular
+    from repro.fuzz.runner import execute_trace
+
+    _SHRINK_STEPS.inc()
+    try:
+        execute_trace(trace)
+    except InvariantViolation as exc:
+        return exc.violation.kind == kind
+    return False
+
+
+def _op_subsets(ops: tuple) -> list[tuple]:
+    """Candidate op lists, largest removals first."""
+    n = len(ops)
+    candidates: list[tuple] = []
+    chunk = max(1, n // 2)
+    while chunk >= 1:
+        for start in range(0, n, chunk):
+            candidate = ops[:start] + ops[start + chunk:]
+            if len(candidate) < n:
+                candidates.append(candidate)
+        if chunk == 1:
+            break
+        chunk //= 2
+    return candidates
+
+
+def _text_reductions(text: str) -> list[str]:
+    out: list[str] = []
+    if text:
+        out.append("")
+    size = len(text) // 2
+    while size >= 1:
+        out.append(text[:size])
+        size //= 2
+    return out
+
+
+def _simplified_ops(ops: tuple) -> list[tuple]:
+    """One-op-at-a-time simplifications (texts, positions, counts)."""
+    candidates: list[tuple] = []
+    for i, op in enumerate(ops):
+        variants: list[tuple] = []
+        if op[0] == "i":
+            for smaller in _text_reductions(op[2]):
+                variants.append(("i", op[1], smaller, op[3]))
+        elif op[0] == "d":
+            if op[2] > 1:
+                variants.append(("d", op[1], 1, op[3]))
+        elif op[0] == "r":
+            for smaller in _text_reductions(op[3]):
+                variants.append(("r", op[1], op[2], smaller, op[4]))
+            if op[2] > 1:
+                variants.append(("r", op[1], 1, op[3], op[4]))
+        if op[0] != "s" and op[1] != 0:
+            variants.append((op[0], 0) + tuple(op[2:]))
+        for variant in variants:
+            if variant != op:
+                candidates.append(ops[:i] + (variant,) + ops[i + 1:])
+    return candidates
+
+
+def shrink_trace(trace: Trace, violation: Violation,
+                 max_attempts: int = 400) -> Trace:
+    """The smallest trace found that still fails with
+    ``violation.kind`` (returns ``trace`` unchanged if nothing smaller
+    fails the same way)."""
+    kind = violation.kind
+    best = trace
+    attempts = 0
+
+    def attempt(candidate: Trace) -> bool:
+        nonlocal attempts, best
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        if _still_fails(candidate, kind):
+            best = candidate
+            return True
+        return False
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+
+        # 1. remove op chunks (restart scan after every success so the
+        #    subsets are computed against the new, smaller trace)
+        removed = True
+        while removed and attempts < max_attempts:
+            removed = False
+            for ops in _op_subsets(best.ops):
+                if attempt(best.replaced(ops=ops)):
+                    removed = progress = True
+                    break
+
+        # 2. drop the fault schedule, then individual specs
+        if best.faults:
+            if attempt(best.replaced(faults=None)):
+                progress = True
+            else:
+                specs = best.faults.get("specs", [])
+                for i in range(len(specs)):
+                    if len(specs) <= 1:
+                        break
+                    smaller = dict(best.faults)
+                    smaller["specs"] = specs[:i] + specs[i + 1:]
+                    if attempt(best.replaced(faults=smaller)):
+                        progress = True
+                        break
+
+        # 3. shrink the initial document
+        for smaller in _text_reductions(best.init):
+            if attempt(best.replaced(init=smaller)):
+                progress = True
+                break
+
+        # 4 + 5. per-op simplifications
+        for ops in _simplified_ops(best.ops):
+            if attempt(best.replaced(ops=ops)):
+                progress = True
+                break
+
+    return best

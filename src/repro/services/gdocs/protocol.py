@@ -99,6 +99,11 @@ class Ack:
             )
         except KeyError as exc:
             raise ProtocolError(f"Ack missing field {exc}") from None
+        except ValueError as exc:
+            # a mangled body can still parse as a form whose rev field
+            # is garbage ('&' corrupted away merges adjacent pairs);
+            # that is a malformed ack, not a crash
+            raise ProtocolError(f"Ack field unparseable: {exc}") from None
 
 
 def _doc_url(doc_id: str, **params: str) -> str:

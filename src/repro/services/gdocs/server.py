@@ -30,7 +30,7 @@ import itertools
 from collections import OrderedDict
 
 from repro.encoding.formenc import encode_form
-from repro.errors import ProtocolError, QuotaExceededError
+from repro.errors import DeltaError, ProtocolError, QuotaExceededError
 from repro.net.http import HttpRequest, HttpResponse
 from repro.obs import default_registry
 from repro.services.gdocs import protocol
@@ -115,6 +115,10 @@ class GDocsServer:
             return _error(413, str(exc))
         except ProtocolError as exc:
             return _error(400, str(exc))
+        except DeltaError as exc:
+            # a delta field the client sent (or the network mangled)
+            # that does not parse or apply is bad input, not a crash
+            return _error(400, f"bad delta: {exc}")
 
     def _stored_bytes(self) -> int:
         """Total characters currently held by the store (gauge value)."""
@@ -225,7 +229,12 @@ class GDocsServer:
                 "full save"
             )
         doc = self.store.get(doc_id)
-        base_rev = int(form.get(protocol.F_REV, "-1"))
+        try:
+            base_rev = int(form.get(protocol.F_REV, "-1"))
+        except ValueError:
+            raise ProtocolError(
+                f"malformed rev {form.get(protocol.F_REV)!r}"
+            ) from None
         if base_rev != doc.revision:
             if self.merge_concurrent and 0 <= base_rev < doc.revision:
                 merged = self._merge_stale_delta(doc_id, base_rev, form)

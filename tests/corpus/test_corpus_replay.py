@@ -1,0 +1,61 @@
+"""Corpus replay: every shrunk failure the fuzzer ever found, forever.
+
+Each ``*.json`` file beside this test is a minimal trace the
+differential fuzzer (``repro.fuzz``) shrank from a real invariant
+violation, committed together with the fix it motivated.  Replaying
+them as ordinary pytest cases turns every past bug into a permanent
+regression test — if one of these ever reports a violation again, the
+bug it documents is back.
+
+Triage workflow for a new failure (see ``docs/testing.md``): the
+fuzzer writes the shrunk file, ``repro fuzz --replay FILE`` reproduces
+it interactively, and once fixed the file moves here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.generators import TRACE_FORMAT, Trace
+from repro.fuzz.runner import run_trace
+
+CORPUS_DIR = Path(__file__).parent
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_corpus_is_not_empty():
+    """The sweep that built this harness found real bugs; their replay
+    files must stay committed (an empty corpus means they were lost)."""
+    assert len(CORPUS_FILES) >= 5
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_file_replays_clean(path):
+    data = _load(path)
+    trace = Trace.from_dict(data["trace"])
+    violation = run_trace(trace)
+    assert violation is None, (
+        f"{path.name} regressed: [{violation.kind}] {violation.detail} "
+        f"(originally: {data['violation']['kind']}, "
+        f"fixed in {data.get('fixed_in', '?')})"
+    )
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_file_is_well_formed(path):
+    """Replay files must stay loadable and canonically serializable:
+    format marker present, trace round-trips through JSON byte-stably,
+    and the recorded violation names a kind."""
+    data = _load(path)
+    assert data["trace"]["format"] == TRACE_FORMAT
+    trace = Trace.from_dict(data["trace"])
+    assert Trace.from_json(trace.to_json()) == trace
+    assert trace.to_json() == Trace.from_json(trace.to_json()).to_json()
+    assert data["violation"]["kind"]

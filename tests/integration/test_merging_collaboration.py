@@ -18,11 +18,13 @@ The paper's conflict complaints stem from a server we modelled as
 
 import pytest
 
-from repro.client.gdocs_client import GDocsClient
+from repro.client.gdocs_client import GDocsClient, SaveOutcome
 from repro.crypto.random import DeterministicRandomSource
 from repro.encoding.wire import looks_encrypted
 from repro.extension import GDocsExtension, PasswordVault
 from repro.net.channel import Channel
+from repro.net.faults import FaultPlan, FaultSpec, updates_only
+from repro.net.policy import RetryPolicy
 from repro.services.gdocs.server import GDocsServer
 
 
@@ -31,15 +33,16 @@ def plain_user(server, doc_id="doc"):
 
 
 def encrypted_user(server, seed, scheme="recb", decrypt_acks=True,
-                   doc_id="doc"):
-    channel = Channel(server)
+                   doc_id="doc", faults=None, resilient=False):
+    channel = Channel(server, faults=faults)
     extension = GDocsExtension(
         PasswordVault({doc_id: "pw"}), scheme=scheme,
         rng=DeterministicRandomSource(seed),
         decrypt_acks=decrypt_acks,
     )
     channel.set_mediator(extension)
-    client = GDocsClient(channel, doc_id)
+    policy = RetryPolicy(seed=seed) if resilient else None
+    client = GDocsClient(channel, doc_id, policy=policy)
     return client, extension
 
 
@@ -194,3 +197,115 @@ class TestFaithfulExtensionDegradesSafely:
         reader, _ = encrypted_user(server, 12, decrypt_acks=False)
         text = reader.open()
         assert text.startswith("ALICE. ")  # consistent, bob's edit lost
+
+
+def _drain(*clients, rounds=12):
+    """Save until every client's save is a clean no-op (quiesced).
+
+    Returns True when the pair reached a fixed point inside the round
+    budget — the same quiescing discipline ``repro.fuzz``'s concurrent
+    mode uses before it compares states.
+    """
+    for _ in range(rounds):
+        outcomes = [c.save() for c in clients]
+        if all(o.ok and o.kind == "noop" for o in outcomes):
+            return True
+    return False
+
+
+class TestMergingUnderFaults:
+    """Resilient clients, a merging server, and a faulty network — the
+    combination the fuzzer's concurrent mode exercised when it found
+    the merged-Ack duplication bug (``tests/corpus/
+    merged-ack-rebase-dup.json``).  Every save must come back as a
+    typed :class:`SaveOutcome`, and the pair must converge.
+    """
+
+    def _pair(self, seed, faults=None):
+        server = GDocsServer(merge_concurrent=True)
+        alice, _ = encrypted_user(server, seed, resilient=True,
+                                  faults=faults)
+        bob, _ = encrypted_user(server, seed + 1, resilient=True)
+        alice.open()
+        alice.type_text(0, BASE)
+        assert alice.save().ok
+        bob.open()
+        bob.save()
+        return server, alice, bob
+
+    def test_resilient_merged_ack_not_applied_twice(self):
+        """Regression for the fuzzer's first find: a resilient client
+        receiving a *merged* Ack must adopt the merged content — not
+        rebase its just-applied delta over it, which applied the edit a
+        second time (legacy clients always got this right)."""
+        server, alice, bob = self._pair(60)
+        bob.type_text(len(BASE), "BOB-TAIL.")
+        bob.save()
+        alice.type_text(0, "ALICE-HEAD. ")
+        outcome = alice.save()
+        assert outcome.ok and not outcome.conflict
+        assert server.merges_performed == 1
+        assert alice.editor.text.count("ALICE-HEAD. ") == 1
+        assert alice.editor.text.count("BOB-TAIL.") == 1
+        reader, _ = encrypted_user(server, 66)
+        assert reader.open() == alice.editor.text
+
+    @pytest.mark.parametrize("kind", ["drop", "dup", "blackhole"])
+    def test_concurrent_merge_converges_under_schedule(self, kind):
+        """A deterministic fault schedule hits alice's next two saves;
+        retries + idempotency keys must keep the merge exactly-once."""
+        plan = FaultPlan([FaultSpec(kind=kind, at=(4, 6), limit=2,
+                                    match=updates_only)], seed=kind == "dup")
+        server, alice, bob = self._pair(70, faults=plan)
+        bob.type_text(len(BASE), "BOB-TAIL.")
+        bob.save()
+        alice.type_text(0, "ALICE-HEAD. ")
+        outcome = alice.save()
+        assert isinstance(outcome, SaveOutcome)  # typed, never raised
+        assert _drain(alice, bob)
+        reader, _ = encrypted_user(server, 77)
+        text = reader.open()
+        assert text == alice.editor.text
+        assert text.count("ALICE-HEAD. ") == 1  # no replay duplication
+        assert text.count("BOB-TAIL.") == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_drop_dup_chaos_converges(self, seed):
+        plan = FaultPlan(
+            [FaultSpec(kind="drop", rate=0.25, match=updates_only),
+             FaultSpec(kind="dup", rate=0.25, match=updates_only)],
+            seed=900 + seed,
+        )
+        server, alice, bob = self._pair(80 + seed, faults=plan)
+        for i in range(4):
+            bob.type_text(len(bob.editor.text), f"b{i}.")
+            assert isinstance(bob.save(), SaveOutcome)
+            alice.type_text(0, f"a{i}.")
+            assert isinstance(alice.save(), SaveOutcome)
+        assert _drain(alice, bob), "clients failed to quiesce"
+        # a no-op save never contacts the server, so a client whose
+        # last save predates the other's merge is honestly stale —
+        # refresh both (the fuzzer's concurrent mode does the same)
+        alice.open()
+        bob.open()
+        reader, _ = encrypted_user(server, 500 + seed)
+        text = reader.open()
+        assert text == alice.editor.text == bob.editor.text
+        for i in range(4):
+            assert text.count(f"a{i}.") == 1
+            assert text.count(f"b{i}.") == 1
+
+    def test_exhausted_retries_surface_as_typed_outcome(self):
+        """When the network eats every save, the resilient client must
+        report ``ok=False`` on a SaveOutcome — never raise, never
+        pretend success."""
+        plan = FaultPlan([FaultSpec(kind="drop", rate=1.0,
+                                    match=updates_only)], seed=3)
+        server = GDocsServer(merge_concurrent=True)
+        alice, _ = encrypted_user(server, 90, resilient=True, faults=plan)
+        alice.open()
+        alice.type_text(0, BASE)
+        outcome = alice.save()
+        assert isinstance(outcome, SaveOutcome)
+        assert not outcome.ok
+        assert outcome.error

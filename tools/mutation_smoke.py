@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Prove the fuzz oracle has teeth: mutate the crypto, expect a catch.
+
+A differential harness that never fails is indistinguishable from one
+that checks nothing.  This tool injects a known-load-bearing bug — it
+deletes the Wang–Kao–Yeh *length amendment* from the RPC checksum
+record (the XOR of the packed document length into the payload
+aggregate, ``RpcCodec.suffix``) — into a temporary copy of the source
+tree, then runs the same ``repro fuzz`` invocation against the clean
+tree and the mutant:
+
+* clean tree  → exit 0 (no violations), or the harness is flaky;
+* mutant tree → exit != 0 (roundtrip/integrity violations), or the
+  harness is blind to a checksum that stopped binding the length.
+
+The mutation is applied textually so the tool exercises the real
+on-disk pipeline end to end; the original tree is never touched.
+
+Usage: ``python tools/mutation_smoke.py [--iters N] [--seed N]``
+(also wired in as ``make mutation-smoke``, part of ``make fuzz``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+#: the load-bearing line (leading indent included: the ``want_payload``
+#: re-derivation in ``load`` must NOT be touched, so the verifier still
+#: expects the amendment the mutant no longer writes)
+TARGET_FILE = "repro/core/rpc.py"
+TARGET = ("        payload = xor_bytes(state.payload_xor, "
+          "_pack_length(state.length))")
+MUTANT = ("        payload = state.payload_xor"
+          "  # MUTANT: length amendment dropped")
+
+
+def run_fuzz(pythonpath: Path, iters: int, seed: int) -> tuple[int, str]:
+    """One ``repro fuzz`` subprocess against the given source tree."""
+    env = dict(os.environ, PYTHONPATH=str(pythonpath))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "fuzz",
+         "--profile", "engine", "--scheme", "rpc",
+         "--iters", str(iters), "--seed", str(seed)],
+        env=env, capture_output=True, text=True, cwd=str(REPO),
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iters", type=int, default=25,
+                        help="fuzz iterations per run (default 25; every "
+                             "engine trace ends in a checksum-verifying "
+                             "reload, so a handful suffices)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rpc = SRC / TARGET_FILE
+    source = rpc.read_text(encoding="utf-8")
+    if source.count(TARGET) != 1:
+        print(f"error: expected exactly one mutation target line in "
+              f"{TARGET_FILE}; found {source.count(TARGET)} "
+              f"(did the RPC codec change?)", file=sys.stderr)
+        return 2
+
+    code, output = run_fuzz(SRC, args.iters, args.seed)
+    if code != 0:
+        print("error: harness failed on the CLEAN tree — fix that "
+              "before trusting a mutation result:", file=sys.stderr)
+        print(output, file=sys.stderr)
+        return 2
+    print(f"clean tree:  exit 0 over {args.iters} iterations (good)")
+
+    with tempfile.TemporaryDirectory(prefix="repro-mutant-") as tmp:
+        mutant_src = Path(tmp) / "src"
+        shutil.copytree(SRC, mutant_src)
+        mutant_rpc = mutant_src / TARGET_FILE
+        mutant_rpc.write_text(source.replace(TARGET, MUTANT),
+                              encoding="utf-8")
+        code, output = run_fuzz(mutant_src, args.iters, args.seed)
+
+    if code == 0:
+        print("MUTATION SURVIVED: the harness ran the mutant tree "
+              "without a single violation — the oracle is blind to a "
+              "broken RPC length amendment.", file=sys.stderr)
+        return 1
+    caught = [line for line in output.splitlines()
+              if "roundtrip" in line or "Integrity" in line]
+    print(f"mutant tree: exit {code} — harness caught the broken "
+          f"checksum ({len(caught)} violation line(s))")
+    if caught:
+        print(f"  e.g. {caught[0].strip()}")
+    print("mutation smoke: PASS (the oracle has teeth)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
