@@ -10,13 +10,16 @@ FUZZ_ITERS ?= 2000
 FUZZ_LONG_ITERS ?= 20000
 COVERAGE_MIN ?= 80
 
-.PHONY: install test metrics-smoke docs-check fuzz fuzz-long mutation-smoke coverage bench bench-edits bench-faults figures examples all clean
+.PHONY: install test metrics-smoke docs-check layering-check fuzz fuzz-long mutation-smoke coverage bench bench-edits bench-faults figures examples all clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: metrics-smoke docs-check fuzz
+test: metrics-smoke docs-check layering-check fuzz
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+
+layering-check:   ## enforce the client/extension vs services import layering
+	$(PYTHON) tools/layering_check.py
 
 fuzz:             ## seeded differential fuzzing (bounded CI budget) + oracle teeth check
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(FUZZ_ITERS)

@@ -13,6 +13,13 @@ rates 0% / 1% / 5% / 20% and reports
 * whether the session **converged** (stored ciphertext decrypts to the
   user's final text) — which must be True at every rate.
 
+Since the resilience core is provider-agnostic
+(``repro.client.resilient``), the sweep also runs per backend: every
+service in ``repro.services.registry.SERVICE_NAMES`` gets its own rows
+(``--service X`` re-measures just one), so the sidecar answers "does
+graceful degradation hold on Bespin/Buzzword/replicated too, and what
+does whole-file re-sending cost relative to deltas?".
+
 Run as a script (``make bench-faults``) it writes the
 ``BENCH_faults.json`` sidecar at the repo root, preserving the first
 recorded run as ``baseline`` (same convention as
@@ -21,18 +28,19 @@ recorded run as ``baseline`` (same convention as
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import random
 import sys
 import time
 
-from repro.core.transform import EncryptionEngine
 from repro.crypto.random import DeterministicRandomSource
 from repro.extension.session import PrivateEditingSession
 from repro.net.faults import FaultPlan, updates_only
 from repro.net.policy import RetryPolicy
 from repro.obs import capture
+from repro.services import registry
 from repro.workloads.text import make_text
 
 SCHEMA = "repro.bench.faults/v1"
@@ -41,24 +49,28 @@ SIDECAR = pathlib.Path(__file__).resolve().parent.parent / \
 
 #: per-exchange fault probability per kind, the sweep of the issue
 RATES = (0.0, 0.01, 0.05, 0.20)
+#: the shorter per-backend sweep (every backend, three weathers)
+SERVICE_RATES = (0.0, 0.05, 0.20)
 SCHEME = "rpc"
 SEED = 20110613  # the paper's year+venue, fixed forever
 
 
-def _session(rate: float, edits: int) -> tuple[PrivateEditingSession,
-                                               FaultPlan]:
+def _session(rate: float, service: str) -> tuple[PrivateEditingSession,
+                                                 FaultPlan]:
     plan = FaultPlan.uniform(rate, seed=SEED, match=updates_only)
     session = PrivateEditingSession(
         f"bench-{rate}", "bench-password", scheme=SCHEME,
         faults=plan, retry_policy=RetryPolicy(seed=SEED),
         verify_acks=True, rng=DeterministicRandomSource(SEED),
+        service=service,
     )
     return session, plan
 
 
-def _run_rate(rate: float, edits: int) -> dict[str, float | bool]:
+def _run_rate(rate: float, edits: int,
+              service: str = "gdocs") -> dict[str, float | bool]:
     """One measured session: ``edits`` edit+save rounds at ``rate``."""
-    session, plan = _session(rate, edits)
+    session, plan = _session(rate, service)
     rng = random.Random(SEED + int(rate * 1000))
     session.open()
     session.client.editor.set_text(make_text(2_000, rng))
@@ -78,10 +90,14 @@ def _run_rate(rate: float, edits: int) -> dict[str, float | bool]:
         plan.quiesce()
         if not session.save().ok:
             failures += 1
+        if not registry.backend_for(service).capabilities.revisioned:
+            # whole-file stores: land one more save after any
+            # reorder-held stale request has flushed (see repro.fuzz)
+            session.save()
         elapsed = time.perf_counter() - t0
-    recovered = EncryptionEngine(
-        password="bench-password", scheme=SCHEME
-    ).decrypt(session.server_view())
+    recovered = registry.decrypt_view(
+        service, session.server_view(), "bench-password", SCHEME
+    )
     return {
         "edits_per_sec": round(edits / elapsed, 1),
         "faults_injected": cap["net.faults.injected"],
@@ -95,27 +111,45 @@ def _run_rate(rate: float, edits: int) -> dict[str, float | bool]:
     }
 
 
-def run_suite(edits: int = 60) -> dict[str, dict]:
-    """The rate sweep; keys are percent labels ("rate=5%")."""
+def run_suite(edits: int = 60, service: str = "gdocs",
+              rates: tuple = RATES) -> dict[str, dict]:
+    """The rate sweep for one backend; keys are labels ("rate=5%")."""
     return {
-        f"rate={rate:.0%}": _run_rate(rate, edits) for rate in RATES
+        f"rate={rate:.0%}": _run_rate(rate, edits, service)
+        for rate in rates
     }
 
 
-def write_sidecar(results: dict) -> dict:
+def run_service_suite(edits: int = 30,
+                      services: tuple = registry.SERVICE_NAMES
+                      ) -> dict[str, dict]:
+    """Per-backend rows: the shorter sweep for every named service."""
+    return {
+        service: run_suite(edits, service, rates=SERVICE_RATES)
+        for service in services
+    }
+
+
+def write_sidecar(results: dict, services: dict | None = None) -> dict:
     """Write BENCH_faults.json, preserving the first-ever run as the
-    ``baseline`` later sessions compare against."""
+    ``baseline`` later sessions compare against.  ``services`` rows
+    merge over the previous run's, so ``--service X`` re-measures one
+    backend without discarding the others."""
     baseline = None
+    previous = {}
     if SIDECAR.exists():
         previous = json.loads(SIDECAR.read_text())
         baseline = previous.get("baseline") or previous.get("current")
+    merged = dict(previous.get("services") or {})
+    merged.update(services or {})
     payload = {
         "schema": SCHEMA,
         "unit": "edits/sec (plus obs-registry fault/retry counts)",
         "scheme": SCHEME,
         "seed": SEED,
         "baseline": baseline,
-        "current": results,
+        "current": results if results else previous.get("current"),
+        "services": merged,
     }
     SIDECAR.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -154,6 +188,11 @@ def fault_sweep():
     return results
 
 
+@pytest.fixture(scope="module")
+def service_sweep():
+    return run_service_suite(edits=10)
+
+
 class TestFaultSweep:
     def test_converges_at_every_rate(self, fault_sweep):
         for label, row in fault_sweep.items():
@@ -175,8 +214,48 @@ class TestFaultSweep:
             assert row["edits_per_sec"] > 0, label
 
 
+class TestServiceSweep:
+    def test_every_backend_converges_at_every_rate(self, service_sweep):
+        for service, rows in service_sweep.items():
+            for label, row in rows.items():
+                assert row["converged"], f"{service} {label}"
+
+    def test_every_backend_measured(self, service_sweep):
+        assert set(service_sweep) == set(registry.SERVICE_NAMES)
+        for rows in service_sweep.values():
+            for row in rows.values():
+                assert row["edits_per_sec"] > 0
+
+    def test_whole_file_backends_never_resync(self, service_sweep):
+        """No revisions -> nothing to resync against; their recovery
+        is pure full-save retransmission."""
+        for service in ("bespin", "buzzword"):
+            for label, row in service_sweep[service].items():
+                assert row["resyncs"] == 0, f"{service} {label}"
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--service", choices=registry.SERVICE_NAMES + ("all",),
+        default="all",
+        help="re-measure one backend's rows (default: gdocs sweep "
+             "plus every backend)")
+    parser.add_argument("--edits", type=int, default=60,
+                        help="edit+save rounds per measured session")
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    suite = run_suite()
-    payload = write_sidecar(suite)
+    args = _parse_args(sys.argv[1:])
+    if args.service == "all":
+        suite = run_suite(args.edits)
+        services = run_service_suite(max(10, args.edits // 2))
+    else:
+        # one backend only: keep the previous gdocs sweep, merge rows
+        suite = None
+        services = run_service_suite(max(10, args.edits // 2),
+                                     services=(args.service,))
+    payload = write_sidecar(suite, services)
     json.dump(payload, sys.stdout, indent=2)
     print()

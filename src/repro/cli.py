@@ -216,18 +216,19 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    """``repro chaos``: the demo under a seeded hostile network."""
-    from repro.core.transform import EncryptionEngine
+    """``repro chaos``: the demo under a seeded hostile network,
+    against any registered service (``--service``)."""
     from repro.extension import PrivateEditingSession
     from repro.net.faults import FaultPlan
     from repro.net.policy import RetryPolicy
     from repro.obs import default_registry
+    from repro.services import registry
 
     plan = FaultPlan.uniform(args.rate, seed=args.seed)
     session = PrivateEditingSession(
         "chaos", "chaos-password", scheme=args.scheme,
         faults=plan, retry_policy=RetryPolicy(seed=args.seed),
-        verify_acks=True,
+        verify_acks=True, service=args.service,
     )
     session.open()
     session.type_text(0, "Edited over a network that loses, reorders, "
@@ -237,9 +238,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     outcomes.append(session.save())
     plan.quiesce()  # recovery phase: the weather clears
     outcomes.append(session.save())
+    if not registry.backend_for(args.service).capabilities.revisioned:
+        # un-revisioned whole-file stores can be overwritten by a
+        # reorder fault's late flush during the save above; one more
+        # save lands last (see repro.fuzz.runner for the full story)
+        outcomes.append(session.save())
 
     print(f"fault plan:  seed={args.seed} rate={args.rate} "
-          f"({len(plan.injections)} injections)")
+          f"service={args.service} ({len(plan.injections)} injections)")
     for index, kind in plan.injections:
         print(f"  exchange {index:3d}: {kind}")
     failed = [o for o in outcomes if not o.ok]
@@ -249,9 +255,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"({len(failed)} unrecoverable, {retries:.0f} retries, "
           f"{sum(o.resynced for o in outcomes)} resyncs)")
     stored = session.server_view()
-    recovered = EncryptionEngine(
-        password="chaos-password", scheme=args.scheme
-    ).decrypt(stored)
+    recovered = registry.decrypt_view(
+        args.service, stored, "chaos-password", args.scheme
+    )
     converged = recovered == session.text
     print(f"user sees:   {session.text}")
     print(f"server has:  {stored[:56]}...")
@@ -290,6 +296,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         profile=args.profile,
         mode=args.mode,
         scheme=args.scheme,
+        service=args.service,
         corpus_dir=args.corpus_dir,
         shrink=not args.no_shrink,
     )
@@ -385,6 +392,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7,
                    help="fault/retry RNG seed (default 7); a failing "
                         "run replays exactly from its seed")
+    p.add_argument("--service",
+                   choices=["gdocs", "bespin", "buzzword", "replicated"],
+                   default="gdocs",
+                   help="cloud service to run the demo against")
     p.add_argument("--rate", type=float, default=0.25,
                    help="per-exchange fault probability per kind")
     p.add_argument("--scheme", choices=["recb", "rpc"], default="rpc")
@@ -402,6 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace-shape profile (default ci)")
     p.add_argument("--mode", choices=["engine", "session", "concurrent"],
                    help="force one execution mode (default: mixed)")
+    p.add_argument("--service",
+                   choices=["gdocs", "bespin", "buzzword", "replicated"],
+                   help="pin networked traces to one cloud service "
+                        "(default: session traces draw one)")
     p.add_argument("--scheme", choices=["recb", "rpc"],
                    help="force one scheme (default: mixed)")
     p.add_argument("--corpus-dir", metavar="DIR",

@@ -6,11 +6,13 @@ extension — they speak plaintext and never cooperate with the mediator.
 from repro.client.bespin_client import BespinClient
 from repro.client.buzzword_client import BuzzwordClient
 from repro.client.editor import EditorBuffer
+from repro.client.resilient import ResilientClient
 from repro.client.userjs_client import SelfEncryptingGDocsClient
 from repro.client.gdocs_client import CONFLICT_COMPLAINT, GDocsClient, SaveOutcome
 
 __all__ = [
     "EditorBuffer",
+    "ResilientClient",
     "GDocsClient",
     "SaveOutcome",
     "CONFLICT_COMPLAINT",

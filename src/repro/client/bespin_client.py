@@ -1,39 +1,36 @@
-"""The benign Bespin-like client: whole-file PUT on every save."""
+"""The benign Bespin-like client: whole-file PUT on every save.
+
+A thin adapter over the shared resilient core: Bespin's protocol has no
+sessions, revisions, or deltas (``BackendCapabilities()`` all-false),
+so every save takes the full-save path, conflicts never occur, and —
+with a :class:`repro.net.policy.RetryPolicy` — transient faults come
+back as typed ``SaveOutcome(ok=False)`` exactly as they do for the
+Google Documents client.  Without a policy, failed exchanges raise
+(the legacy contract).
+"""
 
 from __future__ import annotations
 
-from repro.client.editor import EditorBuffer
-from repro.errors import ProtocolError
+from repro.client.resilient import ResilientClient, SaveOutcome
 from repro.net.channel import Channel
-from repro.services import bespin
+from repro.net.policy import RetryPolicy
+from repro.services.backend import BESPIN
 
 __all__ = ["BespinClient"]
 
 
-class BespinClient:
+class BespinClient(ResilientClient):
     """Edits one file in a Bespin project."""
 
-    def __init__(self, channel: Channel, path: str):
-        self._channel = channel
+    def __init__(self, channel: Channel, path: str,
+                 policy: RetryPolicy | None = None):
+        super().__init__(channel, path, BESPIN, policy=policy)
         self.path = path
-        self.editor = EditorBuffer()
 
     def open(self) -> str:
         """Fetch the file (empty buffer when it does not exist yet)."""
-        response = self._channel.send(bespin.get_request(self.path))
-        if response.status == 404:
-            self.editor.resync("")
-        elif response.ok:
-            self.editor.resync(response.body)
-        else:
-            raise ProtocolError(f"open failed: {response.body}")
-        return self.editor.text
+        return super().open()
 
-    def save(self) -> None:
+    def save(self) -> SaveOutcome:
         """PUT the whole buffer (Bespin has no incremental updates)."""
-        response = self._channel.send(
-            bespin.put_request(self.path, self.editor.text)
-        )
-        if not response.ok:
-            raise ProtocolError(f"save failed: {response.body}")
-        self.editor.mark_synced()
+        return super().save()

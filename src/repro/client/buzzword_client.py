@@ -1,42 +1,60 @@
 """The benign Buzzword-like client: whole-document XML POST per save.
 
 The document model is a list of paragraphs; every save serializes all
-of them into ``<textRun>`` elements inside one ``<doc>`` body.
+of them into ``<textRun>`` elements inside one ``<doc>`` body.  The
+XML framing lives in :class:`repro.services.backend.BuzzwordBackend`;
+this adapter keeps the paragraph-list surface (callers edit
+``client.paragraphs`` directly, as the real Buzzword UI would) on top
+of the shared resilient core, which models the document as one text —
+paragraphs joined by newlines.
+
+Like the other adapters: constructed with a
+:class:`repro.net.policy.RetryPolicy` the client retries transient
+faults and returns typed ``SaveOutcome(ok=False)`` on unrecoverable
+ones; without a policy failed exchanges raise.
 """
 
 from __future__ import annotations
 
-from repro.errors import ProtocolError
+from repro.client.resilient import ResilientClient, SaveOutcome
 from repro.net.channel import Channel
-from repro.services import buzzword
+from repro.net.policy import RetryPolicy
+from repro.services.backend import (
+    BUZZWORD,
+    join_paragraphs,
+    split_paragraphs,
+)
 
 __all__ = ["BuzzwordClient"]
 
 
-class BuzzwordClient:
+class BuzzwordClient(ResilientClient):
     """Edits one Buzzword document."""
 
-    def __init__(self, channel: Channel, doc_id: str):
-        self._channel = channel
-        self.doc_id = doc_id
+    def __init__(self, channel: Channel, doc_id: str,
+                 policy: RetryPolicy | None = None):
+        super().__init__(channel, doc_id, BUZZWORD, policy=policy)
         self.paragraphs: list[str] = []
+        self._para_snapshot: list[str] = []
 
     def open(self) -> list[str]:
         """Fetch the document's paragraphs (empty when new)."""
-        response = self._channel.send(buzzword.get_request(self.doc_id))
-        if response.status == 404:
-            self.paragraphs = []
-        elif response.ok:
-            self.paragraphs = buzzword.text_runs(response.body)
-        else:
-            raise ProtocolError(f"open failed: {response.body}")
+        super().open()
+        self._adopt_editor()
         return list(self.paragraphs)
 
-    def save(self) -> None:
+    def save(self) -> SaveOutcome:
         """POST the whole document as XML."""
-        xml = buzzword.document_xml(self.paragraphs)
-        response = self._channel.send(
-            buzzword.post_request(self.doc_id, xml)
-        )
-        if not response.ok:
-            raise ProtocolError(f"save failed: {response.body}")
+        if self.paragraphs != self._para_snapshot:
+            # the paragraph list was edited directly; it wins over (and
+            # lands in) the underlying text buffer
+            self.editor.set_text(join_paragraphs(self.paragraphs))
+        outcome = super().save()
+        self._adopt_editor()
+        return outcome
+
+    def _adopt_editor(self) -> None:
+        """Re-derive the paragraph view from the text buffer (the two
+        representations are newline-joined/split of each other)."""
+        self.paragraphs = split_paragraphs(self.editor.text)
+        self._para_snapshot = list(self.paragraphs)

@@ -1,8 +1,16 @@
 """The benign Google-Documents-like client.
 
-Implements the client half of the SIV-A protocol: open an edit session,
-send the session's first save as a full ``docContents`` POST, send every
-later save as a ``delta``, and interpret Acks — including the
+A thin adapter: the session/revision bookkeeping, retry loop,
+idempotency keys, typed :class:`SaveOutcome`, and conflict
+resync-with-rebase all live in the shared provider-agnostic core
+(:class:`repro.client.resilient.ResilientClient`); this module binds
+that core to the reverse-engineered SIV-A protocol
+(:class:`repro.services.backend.GDocsBackend`) and adds the
+server-side feature calls the paper's extension must block.
+
+The client half of SIV-A: open an edit session, send the session's
+first save as a full ``docContents`` POST, send every later save as a
+``delta``, and interpret Acks — including the
 ``contentFromServer(Hash)`` consistency check whose neutralization by
 the extension produces the paper's partially-functional collaboration.
 
@@ -23,464 +31,25 @@ one: any failed exchange raises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.client.editor import EditorBuffer
-from repro.core.delta import Delta
-from repro.core.ot import transform
-from repro.errors import (
-    CryptoError,
-    DeltaError,
-    NetworkTimeoutError,
-    PasswordError,
-    ProtocolError,
-    RetryBudgetExceededError,
-    SessionError,
+from repro.client.resilient import (
+    CONFLICT_COMPLAINT,
+    ResilientClient,
+    SaveOutcome,
 )
 from repro.net.channel import Channel
-from repro.net.http import HttpRequest, HttpResponse
-from repro.net.policy import RetryPolicy, RetryState
-from repro.obs import counter, histogram
+from repro.net.policy import RetryPolicy
+from repro.services.backend import GDOCS
 from repro.services.gdocs import protocol
-from repro.workloads.diff import derive_delta
 
-__all__ = ["GDocsClient", "SaveOutcome"]
-
-#: the user-visible complaint the paper reports during concurrent edits
-CONFLICT_COMPLAINT = "multiple people editing the same region"
-
-_RETRIES = counter("client.retries.attempts")
-_TIMEOUTS = counter("client.retries.timeouts")
-_GIVEUPS = counter("client.retries.giveups")
-_BACKOFF = histogram("client.retries.backoff_seconds")
-_RESYNCS = counter("client.resyncs")
-_SAVE_FAILURES = counter("client.save_failures")
+__all__ = ["GDocsClient", "SaveOutcome", "CONFLICT_COMPLAINT"]
 
 
-@dataclass
-class SaveOutcome:
-    """What one save attempt did, for tests and benchmarks.
-
-    ``ok`` is False only when a resilient client exhausted its retry
-    budget or hit a non-retryable failure — the typed, non-raising
-    surface of an unrecoverable fault (``error`` says which).  Legacy
-    clients (no policy) raise instead, so their outcomes always have
-    ``ok=True``.
-    """
-
-    kind: str              #: "full" | "delta" | "noop"
-    ack: protocol.Ack | None = None
-    conflict: bool = False
-    complaints: list[str] = field(default_factory=list)
-    ok: bool = True
-    error: str | None = None
-    attempts: int = 1
-    resynced: bool = False
-
-
-class GDocsClient:
-    """One user's editing client for one document."""
+class GDocsClient(ResilientClient):
+    """One user's editing client for one Google Documents document."""
 
     def __init__(self, channel: Channel, doc_id: str,
                  policy: RetryPolicy | None = None):
-        self._channel = channel
-        self.doc_id = doc_id
-        self.editor = EditorBuffer()
-        self._sid: str | None = None
-        self._rev = -1
-        self._did_full_save = False
-        #: None → legacy behaviour (failures raise, no retries, no idem
-        #: keys, wire byte-identical to the paper's protocol)
-        self._policy = policy
-        #: per-session save sequence number; feeds idempotency keys
-        self._seq = 0
-        self.complaints: list[str] = []
-
-    # -- session -----------------------------------------------------------
-
-    @property
-    def in_session(self) -> bool:
-        return self._sid is not None
-
-    @property
-    def revision(self) -> int:
-        return self._rev
-
-    def open(self) -> str:
-        """Open (or create) the document; returns its current text."""
-        response = self._send(protocol.open_request(self.doc_id))
-        if not response.ok:
-            raise ProtocolError(f"open failed: {response.body}")
-        fields = response.form
-        self._sid = fields[protocol.F_SID]
-        self._rev = int(fields[protocol.A_REV])
-        self._did_full_save = False
-        self.editor.resync(fields.get(protocol.A_CONTENT, ""))
-        return self.editor.text
-
-    def close(self) -> None:
-        """End the session (a final save, then forget the sid)."""
-        if self.editor.dirty:
-            self.save()
-        self._sid = None
-
-    # -- editing sugar ----------------------------------------------------
-
-    def type_text(self, pos: int, text: str) -> None:
-        """User action: insert ``text`` at ``pos``."""
-        self.editor.insert(pos, text)
-
-    def delete_text(self, pos: int, count: int) -> None:
-        """User action: delete ``count`` characters at ``pos``."""
-        self.editor.delete(pos, count)
-
-    def apply_delta(self, delta: Delta) -> None:
-        """Apply a scripted edit to the local buffer."""
-        self.editor.apply_delta(delta)
-
-    # -- resilient delivery (policy-gated) ---------------------------------
-
-    def _send(self, request: HttpRequest) -> HttpResponse:
-        """One exchange, retried under the policy when one is set."""
-        if self._policy is None:
-            return self._channel.send(request)
-        return self._deliver(request,
-                             self._policy.make_state(self._channel.clock))
-
-    def _deliver(self, request: HttpRequest,
-                 state: RetryState) -> HttpResponse:
-        """Send ``request``, retrying timeouts and retryable statuses.
-
-        Returns the first conclusive response — success or a
-        non-retryable error, or the last retryable error response once
-        the budget is spent.  Raises
-        :class:`~repro.errors.RetryBudgetExceededError` only when the
-        budget dies on a *timeout* (no response to surface).
-        """
-        while True:
-            try:
-                response = self._channel.send(request)
-            except NetworkTimeoutError as exc:
-                _TIMEOUTS.inc()
-                delay = state.backoff()
-                if delay is None:
-                    _GIVEUPS.inc()
-                    raise RetryBudgetExceededError(
-                        f"gave up after {state.attempts} attempts "
-                        f"({state.elapsed:.2f}s simulated): {exc}"
-                    ) from exc
-                self._pause(delay)
-                continue
-            if not response.ok and self._policy.retryable(response):
-                delay = state.backoff(response)
-                if delay is None:
-                    _GIVEUPS.inc()
-                    return response
-                self._pause(delay)
-                continue
-            return response
-
-    def _pause(self, seconds: float) -> None:
-        """Back off on the simulated clock (the only time source)."""
-        _RETRIES.inc()
-        _BACKOFF.observe(seconds)
-        self._channel.clock.advance(seconds)
-
-    # -- saving ------------------------------------------------------------
-
-    def save(self) -> SaveOutcome:
-        """Autosave: full on the session's first save, delta afterwards.
-
-        With a retry policy set, failures come back as a typed
-        ``SaveOutcome(ok=False)`` instead of raising, and every save
-        carries an idempotency key.
-        """
-        if self._policy is not None:
-            return self._save_resilient()
-        return self._save_legacy()
-
-    def _save_legacy(self) -> SaveOutcome:
-        """The paper-faithful save path: any failed exchange raises."""
-        if self._sid is None:
-            raise SessionError("save outside an edit session")
-        if self._did_full_save and not self.editor.dirty:
-            return SaveOutcome(kind="noop")
-
-        if not self._did_full_save:
-            request = protocol.full_save_request(
-                self.doc_id, self._sid, self._rev, self.editor.text
-            )
-            kind = "full"
-        else:
-            request = protocol.delta_save_request(
-                self.doc_id, self._sid, self._rev,
-                self.editor.pending_delta().serialize(),
-            )
-            kind = "delta"
-
-        response = self._channel.send(request)
-        if not response.ok:
-            # Recover conservatively: the server's state is unknown, so
-            # the next save re-sends the whole document (which also lets
-            # a mediating extension rebuild its ciphertext mirror).
-            self._did_full_save = False
-            raise ProtocolError(f"save failed: {response.body}")
-        ack = protocol.Ack.from_response(response)
-        outcome = SaveOutcome(kind=kind, ack=ack, conflict=ack.conflict)
-
-        if ack.conflict:
-            self._handle_conflict(ack, outcome)
-        elif ack.merged:
-            # The server transformed this delta past concurrent edits
-            # and echoed the merged result: adopt it silently (the
-            # collaboration behaviour of the real client).
-            self._rev = ack.rev
-            self._did_full_save = True
-            if ack.content_from_server:
-                self.editor.resync(ack.content_from_server)
-            else:
-                self.editor.mark_synced()
-        else:
-            self._rev = ack.rev
-            self._did_full_save = True
-            self.editor.mark_synced()
-            self._check_consistency(ack, outcome)
-        return outcome
-
-    def _save_resilient(self) -> SaveOutcome:
-        """Save under the retry policy: idempotent, typed, non-raising.
-
-        The idempotency key makes the retry loop safe against the
-        blackhole ambiguity (server processed the save but the ack was
-        lost): the re-sent request carries the same key, so the server
-        answers from its replay cache instead of applying twice — and
-        the mediating extension re-sends the same ciphertext instead of
-        re-transforming (which would corrupt its mirror).
-        """
-        if self._sid is None:
-            raise SessionError("save outside an edit session")
-        if self._did_full_save and not self.editor.dirty:
-            return SaveOutcome(kind="noop")
-
-        self._seq += 1
-        idem = f"{self._sid}:{self._seq}"
-        if not self._did_full_save:
-            kind = "full"
-            request = protocol.full_save_request(
-                self.doc_id, self._sid, self._rev, self.editor.text,
-                idem=idem,
-            )
-        else:
-            kind = "delta"
-            request = protocol.delta_save_request(
-                self.doc_id, self._sid, self._rev,
-                self.editor.pending_delta().serialize(), idem=idem,
-            )
-
-        state = self._policy.make_state(self._channel.clock)
-        try:
-            response = self._deliver(request, state)
-        except RetryBudgetExceededError as exc:
-            return self._save_failed(kind, state, f"timeout: {exc}")
-        except (DeltaError, CryptoError, PasswordError) as exc:
-            # A mediating extension failed to transform the save (its
-            # mirror diverged — e.g. the stored ciphertext was damaged
-            # and a resync adopted unexpected state).  Typed failure;
-            # the full-save fallback rebuilds the mirror from scratch.
-            return self._save_failed(kind, state, f"transform: {exc}")
-        if not response.ok:
-            return self._save_failed(
-                kind, state, f"http {response.status}: {response.body}"
-            )
-        try:
-            ack = protocol.Ack.from_response(response)
-        except ProtocolError as exc:
-            # The response was mangled in flight; the server's state is
-            # unknown, so recover exactly as for an error response.
-            return self._save_failed(kind, state, f"malformed ack: {exc}")
-
-        outcome = SaveOutcome(kind=kind, ack=ack, conflict=ack.conflict,
-                              attempts=state.attempts)
-        if ack.conflict:
-            self._resync_and_rebase(outcome, state)
-        elif ack.merged:
-            # The merged content already includes this save's delta
-            # (the server transformed and applied it); adopt it as the
-            # legacy path does.  Rebasing pending edits over it — the
-            # conflict recovery — would apply them a second time.
-            self._rev = ack.rev
-            self._did_full_save = True
-            if ack.content_from_server:
-                self.editor.resync(ack.content_from_server)
-            else:
-                self.editor.mark_synced()
-        else:
-            self._rev = ack.rev
-            self._did_full_save = True
-            self.editor.mark_synced()
-            self._check_consistency(ack, outcome)
-        return outcome
-
-    def _save_failed(self, kind: str, state: RetryState,
-                     error: str) -> SaveOutcome:
-        """Typed unrecoverable-save surface: never an exception, and the
-        next save re-sends the whole document (rebuilding the mediating
-        extension's mirror along the way)."""
-        _SAVE_FAILURES.inc()
-        self._did_full_save = False
-        return SaveOutcome(kind=kind, ok=False, error=error,
-                           attempts=state.attempts)
-
-    def _resync_and_rebase(self, outcome: SaveOutcome,
-                           state: RetryState) -> None:
-        """Conflict recovery: fetch, adopt, replay pending local edits.
-
-        The server's authoritative content comes from the Ack when
-        present, else from a document fetch (which, under a mediating
-        extension, also rebuilds the extension's ciphertext mirror from
-        the stored bytes).  Local edits not yet acknowledged are rebased
-        over the server's concurrent change with the server given
-        priority, then left pending for the next save.
-        """
-        _RESYNCS.inc()
-        outcome.resynced = True
-        ack = outcome.ack
-        synced = self.editor.synced_text
-        local = self.editor.text
-
-        if ack is not None and ack.content_from_server:
-            fetched = ack.content_from_server
-            rev = ack.rev
-        else:
-            try:
-                response = self._deliver(
-                    protocol.fetch_request(self.doc_id), state
-                )
-            except RetryBudgetExceededError as exc:
-                outcome.ok = False
-                outcome.error = f"resync fetch timed out: {exc}"
-                outcome.attempts = state.attempts
-                _SAVE_FAILURES.inc()
-                self._did_full_save = False
-                return
-            if not response.ok:
-                outcome.ok = False
-                outcome.error = (
-                    f"resync fetch failed: http {response.status}"
-                )
-                outcome.attempts = state.attempts
-                _SAVE_FAILURES.inc()
-                self._did_full_save = False
-                return
-            fetched = response.body
-            rev = int(response.headers.get(protocol.A_REV, self._rev))
-
-        if self._looks_garbled(fetched):
-            # What came back is not readable text — under a mediating
-            # extension this means the stored ciphertext no longer
-            # decrypts (corrupted at rest or in flight).  Abandon the
-            # fetched state and schedule a full save: the local
-            # plaintext overwrites the damaged store.
-            complaint = "stored document unreadable; re-saving local copy"
-            self.complaints.append(complaint)
-            outcome.complaints.append(complaint)
-            self._did_full_save = False
-            # adopt the server's stated revision outright: a corrupted
-            # Ack may have forged our _rev HIGHER than the server's
-            # truth, and max() would keep the forgery forever (every
-            # later save conflicting on a revision that never existed)
-            self._rev = rev if ack is None else ack.rev
-            return
-
-        if fetched == local:
-            # The save we believed lost (or conflicted) actually
-            # landed: the server's text already IS our local text.
-            # There is nothing to replay — rebasing the pending edit
-            # over it would apply the edit a second time.
-            self.editor.resync(fetched)
-            self._rev = rev
-            self._did_full_save = True
-            return
-
-        pending = derive_delta(synced, local)
-        server_change = derive_delta(synced, fetched)
-        self.editor.resync(fetched)
-        try:
-            rebased = transform(pending, server_change, priority="right")
-            self.editor.set_text(rebased.apply(fetched))
-        except DeltaError:
-            # Rebase impossible (divergence too deep): keep the server's
-            # text; the user's unsaved edits are lost, reported loudly.
-            complaint = CONFLICT_COMPLAINT
-            self.complaints.append(complaint)
-            outcome.complaints.append(complaint)
-        self._rev = rev
-        self._did_full_save = True
-
-    @staticmethod
-    def _looks_garbled(content: str) -> bool:
-        """Would a user recognize this as *their* document?  Models the
-        human glance that notices ciphertext/pseudo-prose where prose
-        should be (the client stays oblivious of crypto details; these
-        detectors are the simulation's stand-in for that glance).
-
-        The uppercase-ratio fallback catches ciphertext whose header
-        was damaged in flight — it no longer parses as a wire document,
-        but it still does not read as the user's prose."""
-        from repro.encoding.stego import looks_stego
-        from repro.encoding.wire import looks_encrypted
-        if looks_encrypted(content) or looks_stego(content):
-            return True
-        letters = [c for c in content if c.isalpha()]
-        if len(letters) < 16:
-            return False
-        upper = sum(1 for c in letters if c.isupper())
-        return upper / len(letters) > 0.9
-
-    def _handle_conflict(self, ack: protocol.Ack,
-                         outcome: SaveOutcome) -> None:
-        """Resync from the server's authoritative content when it is
-        available; otherwise (the extension blanked it) complain exactly
-        as the paper observed."""
-        if ack.content_from_server:
-            self.editor.resync(ack.content_from_server)
-            self._rev = ack.rev
-        else:
-            complaint = CONFLICT_COMPLAINT
-            self.complaints.append(complaint)
-            outcome.complaints.append(complaint)
-            # Recover by re-entering the full-save path next time.
-            self._did_full_save = False
-            self._rev = ack.rev
-
-    def _check_consistency(self, ack: protocol.Ack,
-                           outcome: SaveOutcome) -> None:
-        """The contentFromServerHash check.
-
-        A neutral hash ("0") carries no information and is skipped —
-        the behaviour the paper relied on when blanking these fields.
-        """
-        if ack.content_from_server_hash == protocol.NEUTRAL_HASH:
-            return
-        if ack.content_from_server_hash != protocol.content_hash(
-            self.editor.text
-        ):
-            complaint = "local text diverged from server content"
-            self.complaints.append(complaint)
-            outcome.complaints.append(complaint)
-            if ack.content_from_server:
-                self.editor.resync(ack.content_from_server)
-
-    # -- read-only refresh (the passive collaborator) ------------------
-
-    def refresh(self) -> str:
-        """Fetch current content outside the save path (passive reader)."""
-        response = self._send(protocol.fetch_request(self.doc_id))
-        if not response.ok:
-            raise ProtocolError(f"refresh failed: {response.body}")
-        self.editor.resync(response.body)
-        self._rev = int(response.headers.get(protocol.A_REV, self._rev))
-        return self.editor.text
+        super().__init__(channel, doc_id, GDOCS, policy=policy)
 
     # -- server-side features (will be blocked under the extension) ------
 
@@ -512,9 +81,3 @@ class GDocsClient:
                                      primitives=primitives)
         )
         return response.body
-
-    # -- client-side features (keep working under the extension) ----------
-
-    def word_count(self) -> int:
-        """Client-side feature: operates on local plaintext only."""
-        return len(self.editor.text.split())

@@ -8,30 +8,38 @@ newly created document is now an encrypted document."
 This module wires the whole stack — simulated server, channel with
 latency, extension mediator, and the oblivious client — behind one
 object, which is what the examples and macro-benchmarks drive.
+
+The stack is service-parameterized: ``service`` picks any name from
+:data:`repro.services.registry.SERVICE_NAMES` ("gdocs", "bespin",
+"buzzword", "replicated"), and the registry plus
+:mod:`repro.extension.stacks` assemble the matching server, mediating
+extension, and client.  The user-facing surface (open / type / save /
+``server_view``) is identical across services — the paper's claim that
+the mediation approach generalizes, in executable form.
 """
 
 from __future__ import annotations
 
-from repro.client.gdocs_client import GDocsClient, SaveOutcome
+from repro.client.resilient import SaveOutcome
 from repro.extension.countermeasures import Countermeasures
 from repro.extension.freshness import FreshnessMonitor
-from repro.extension.gdocs_ext import GDocsExtension
 from repro.extension.passwords import PasswordVault
+from repro.extension.stacks import build_client, build_extension
 from repro.net.channel import Channel
 from repro.net.latency import LatencyModel
-from repro.services.gdocs.server import GDocsServer
+from repro.services import registry
 
 __all__ = ["PrivateEditingSession"]
 
 
 class PrivateEditingSession:
-    """A user editing one Google-Documents-style document privately."""
+    """A user editing one cloud document privately, on any service."""
 
     def __init__(
         self,
         doc_id: str,
         password: str,
-        server: GDocsServer | None = None,
+        server=None,
         scheme: str = "recb",
         block_chars: int = 8,
         latency: LatencyModel | None = None,
@@ -45,8 +53,13 @@ class PrivateEditingSession:
         faults=None,
         retry_policy=None,
         verify_acks: bool = False,
+        service: str = "gdocs",
     ):
-        self.server = server if server is not None else GDocsServer()
+        #: which cloud this session runs against (a
+        #: repro.services.registry.SERVICE_NAMES name)
+        self.service = service
+        self.server = server if server is not None \
+            else registry.make_server(service)
         #: faults: an optional repro.net.faults.FaultPlan making the
         #: cloud unreliable; retry_policy: the client's
         #: repro.net.policy.RetryPolicy answer to it; verify_acks: have
@@ -54,9 +67,10 @@ class PrivateEditingSession:
         self.faults = faults
         self.channel = Channel(self.server, latency=latency, faults=faults)
         self.vault = PasswordVault({doc_id: password})
-        self.extension: GDocsExtension | None = None
+        self.extension = None
         if extension_enabled:
-            self.extension = GDocsExtension(
+            self.extension = build_extension(
+                service,
                 self.vault,
                 scheme=scheme,
                 block_chars=block_chars,
@@ -70,14 +84,15 @@ class PrivateEditingSession:
                 verify_acks=verify_acks,
             )
             self.channel.set_mediator(self.extension)
-        self.client = GDocsClient(self.channel, doc_id,
-                                  policy=retry_policy)
+        self.client = build_client(service, self.channel, doc_id,
+                                   policy=retry_policy)
 
     # -- user actions, delegated to the oblivious client ----------------
 
     def open(self) -> str:
         """Open (or create) the document; returns its plaintext."""
-        return self.client.open()
+        self.client.open()
+        return self.client.editor.text
 
     def type_text(self, pos: int, text: str) -> None:
         """User action: insert ``text`` at ``pos``."""
@@ -88,7 +103,8 @@ class PrivateEditingSession:
         self.client.delete_text(pos, count)
 
     def save(self) -> SaveOutcome:
-        """Autosave (full on the session's first save, delta after)."""
+        """Autosave (full on the session's first save, delta after;
+        whole-file services re-send everything every time)."""
         return self.client.save()
 
     def close(self) -> None:
@@ -104,7 +120,8 @@ class PrivateEditingSession:
 
     def server_view(self) -> str:
         """What the (untrusted) server stores for this document."""
-        return self.server.store.get(self.client.doc_id).content
+        return registry.server_view(self.service, self.server,
+                                    self.client.doc_id)
 
     @property
     def complaints(self) -> list[str]:

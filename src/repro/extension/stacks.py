@@ -1,0 +1,93 @@
+"""Per-service stack wiring: extension + client factories by name.
+
+The session builder (and anything else assembling a full mediated
+stack) picks a service out of :data:`repro.services.registry` and gets
+the matching extension and client here.  This is the one place the
+service-name → concrete-class mapping for the *trusted* side of the
+stack lives; everything provider-specific below it is already behind
+:class:`repro.services.backend.ServiceBackend`.
+
+Google Documents is the protocol-rich case, so its extension takes the
+full option set (countermeasures, stego, freshness, Ack handling...).
+The Bespin and Buzzword extensions mediate much simpler whole-file
+protocols and accept only the encryption options; the gdocs-only
+options are simply not applicable there and are ignored.  The
+``replicated`` service speaks gdocs on the wire, so it uses the gdocs
+extension and client unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.client.bespin_client import BespinClient
+from repro.client.buzzword_client import BuzzwordClient
+from repro.client.gdocs_client import GDocsClient
+from repro.client.resilient import ResilientClient
+from repro.extension.bespin_ext import BespinExtension
+from repro.extension.buzzword_ext import BuzzwordExtension
+from repro.extension.gdocs_ext import GDocsExtension
+from repro.extension.passwords import PasswordVault
+from repro.net.channel import Channel
+from repro.net.policy import RetryPolicy
+from repro.services.registry import SERVICE_NAMES
+
+__all__ = ["SERVICE_NAMES", "build_extension", "build_client"]
+
+
+def build_extension(
+    service: str,
+    vault: PasswordVault,
+    *,
+    scheme: str = "recb",
+    block_chars: int = 8,
+    rng=None,
+    index_factory=None,
+    countermeasures=None,
+    clock=None,
+    decrypt_acks: bool = False,
+    stego: bool = False,
+    freshness=None,
+    verify_acks: bool = False,
+):
+    """The mediating extension for ``service``.
+
+    gdocs-only options (countermeasures, stego, freshness, Ack
+    handling, index choice) are ignored by the whole-file extensions —
+    their protocols have no Acks, deltas, or indexes to apply them to.
+    """
+    if service in ("gdocs", "replicated"):
+        return GDocsExtension(
+            vault,
+            scheme=scheme,
+            block_chars=block_chars,
+            rng=rng,
+            index_factory=index_factory,
+            countermeasures=countermeasures,
+            clock=clock,
+            decrypt_acks=decrypt_acks,
+            stego=stego,
+            freshness=freshness,
+            verify_acks=verify_acks,
+        )
+    if service == "bespin":
+        return BespinExtension(vault, scheme=scheme,
+                               block_chars=block_chars, rng=rng)
+    if service == "buzzword":
+        return BuzzwordExtension(vault, scheme=scheme,
+                                 block_chars=block_chars, rng=rng)
+    raise ValueError(
+        f"unknown service {service!r}; expected one of {SERVICE_NAMES}"
+    )
+
+
+def build_client(service: str, channel: Channel, doc_id: str,
+                 policy: RetryPolicy | None = None) -> ResilientClient:
+    """The benign (extension-oblivious) client for ``service``."""
+    if service in ("gdocs", "replicated"):
+        return GDocsClient(channel, doc_id, policy=policy)
+    if service == "bespin":
+        return BespinClient(channel, doc_id, policy=policy)
+    if service == "buzzword":
+        return BuzzwordClient(channel, doc_id, policy=policy)
+    raise ValueError(
+        f"unknown service {service!r}; expected one of {SERVICE_NAMES}"
+    )

@@ -41,6 +41,7 @@ __all__ = [
     "INDEXES",
     "STORES",
     "MODES",
+    "SERVICES",
     "Profile",
     "PROFILES",
     "Trace",
@@ -62,6 +63,17 @@ INDEXES = ("skiplist", "avl", "reference")
 #: the flat string and the piece table every step)
 STORES = ("both", "flat", "pieces")
 MODES = ("engine", "session", "concurrent")
+#: services a networked trace may target (mirrors
+#: repro.services.registry.SERVICE_NAMES; kept literal so a corpus file
+#: is readable without imports).  engine mode has no service at all and
+#: concurrent mode stays gdocs — OT merging is a gdocs-protocol notion.
+SERVICES = ("gdocs", "bespin", "buzzword", "replicated")
+
+#: session-mode service draw, gdocs-weighted: the richest protocol gets
+#: the most fuzz, but every backend sees regular traffic
+_SESSION_SERVICES = (
+    "gdocs", "gdocs", "gdocs", "bespin", "buzzword", "replicated",
+)
 
 #: fault kinds a generated schedule may draw from (mirrors
 #: repro.net.faults.FAULT_KINDS; kept literal so a corpus file is
@@ -163,10 +175,20 @@ class Trace:
     ops: tuple = ()
     faults: dict | None = None
     clients: int = 1
+    #: which cloud service a networked trace runs against (``engine``
+    #: mode ignores it; ``concurrent`` mode requires "gdocs")
+    service: str = "gdocs"
 
     def __post_init__(self):
         if self.mode not in MODES:
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.service not in SERVICES:
+            raise ValueError(f"unknown service {self.service!r}")
+        if self.mode == "concurrent" and self.service != "gdocs":
+            raise ValueError(
+                "concurrent traces run against gdocs only (OT merging "
+                "is a gdocs-protocol notion)"
+            )
         if self.scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {self.scheme!r}")
         if self.index not in INDEXES:
@@ -198,6 +220,7 @@ class Trace:
             "ops": [list(op) for op in self.ops],
             "faults": self.faults,
             "clients": self.clients,
+            "service": self.service,
         }
 
     @classmethod
@@ -217,6 +240,7 @@ class Trace:
             ops=data.get("ops", ()),
             faults=data.get("faults"),
             clients=data.get("clients", 1),
+            service=data.get("service", "gdocs"),
         )
 
     def to_json(self) -> str:
@@ -334,13 +358,25 @@ def generate_trace(
     mode: str | None = None,
     scheme: str | None = None,
     index: str | None = None,
+    service: str | None = None,
 ) -> Trace:
-    """Generate the trace for ``seed`` (pure function of its inputs)."""
+    """Generate the trace for ``seed`` (pure function of its inputs).
+
+    ``service`` pins the cloud backend for session-mode traces; left
+    None, session traces draw one (gdocs-weighted) and engine /
+    concurrent traces stay on gdocs.  Pinning a non-gdocs service
+    forces session mode — the other modes don't speak those protocols.
+    """
     prof = PROFILES[profile] if isinstance(profile, str) else profile
     rng = random.Random(seed)
+    if service is not None and service != "gdocs":
+        mode = "session"
     mode = mode or _pick_mode(rng, prof)
     scheme = scheme or rng.choice(SCHEMES)
     index = index or rng.choice(INDEXES)
+    if service is None:
+        service = (rng.choice(_SESSION_SERVICES)
+                   if mode == "session" else "gdocs")
     clients = 2 if mode == "concurrent" else 1
 
     init = gen_text(rng, rng.choice((0, 1, prof.max_init // 8,
@@ -364,4 +400,5 @@ def generate_trace(
         ops=tuple(tuple(op) for op in ops),
         faults=faults,
         clients=clients,
+        service=service,
     )

@@ -12,13 +12,16 @@ Three execution modes, selected by ``Trace.mode``:
     checksum verification).
 
 ``session``
-    A resilient :class:`PrivateEditingSession` against a
-    :class:`GDocsServer` with the trace's fault schedule on the
-    Channel.  Mid-trace saves may fail (typed ``SaveOutcome``), but
-    after ``FaultPlan.quiesce()`` one clean save must land, the stored
-    ciphertext must decrypt to the client's text, and a lowercase
-    plaintext sentinel must never appear in anything that crossed the
-    wire (lowercase cannot occur in Base32 ciphertext).
+    A resilient :class:`PrivateEditingSession` against the trace's
+    ``service`` (any name in ``repro.services.registry.SERVICE_NAMES``
+    — gdocs, bespin, buzzword, or the replicated facade) with the
+    trace's fault schedule on the Channel.  Mid-trace saves may fail
+    (typed ``SaveOutcome``), but after ``FaultPlan.quiesce()`` one
+    clean save must land, the stored bytes must decrypt to the
+    client's text (``registry.decrypt_view`` states the oracle
+    uniformly across providers), and a lowercase plaintext sentinel
+    must never appear in anything that crossed the wire (lowercase
+    cannot occur in Base32 ciphertext).
 
 ``concurrent``
     Two sessions sharing one server.  rECB runs the merging server
@@ -49,7 +52,7 @@ from repro.crypto.random import DeterministicRandomSource
 from repro.datastructures import IndexedAVL, IndexedSkipList, ReferenceIndex
 from repro.errors import ReproError
 from repro.extension.session import PrivateEditingSession
-from repro.fuzz.generators import PROFILES, Trace, generate_trace
+from repro.fuzz.generators import PROFILES, SERVICES, Trace, generate_trace
 from repro.fuzz.model import (
     InvariantViolation,
     Violation,
@@ -65,6 +68,7 @@ from repro.fuzz.model import (
 from repro.net.faults import FaultPlan, FaultSpec, updates_only
 from repro.net.policy import RetryPolicy
 from repro.obs.metrics import counter
+from repro.services import registry
 from repro.services.gdocs.pieces import PieceTable
 from repro.services.gdocs.server import GDocsServer
 
@@ -173,6 +177,7 @@ def _session(trace: Trace, *, server=None, seed_salt: int = 0,
         retry_policy=RetryPolicy(seed=trace.seed + seed_salt),
         verify_acks=True,
         decrypt_acks=decrypt_acks,
+        service=trace.service,
     )
 
 
@@ -243,9 +248,23 @@ def _run_session(trace: Trace) -> str:
             f"ok={outcome.ok} conflict={outcome.conflict} "
             f"resynced={outcome.resynced} {outcome.error}"))
 
-    recovered = EncryptionEngine(
-        password=_PASSWORD, scheme=trace.scheme
-    ).decrypt(session.server_view())
+    capabilities = registry.backend_for(trace.service).capabilities
+    if not capabilities.revisioned:
+        # Un-revisioned whole-file stores have no defence against a
+        # reorder fault's *late flush*: a stale save held pre-quiesce
+        # is released during the exchange that produced the clean save
+        # above, landing after it (gdocs rejects it by revision).  One
+        # more save — whole-file saves always retransmit everything —
+        # lands last with nothing left in flight to overtake it.
+        outcome = session.save()
+        if not outcome.ok:
+            raise InvariantViolation(Violation(
+                "save-failed", -1,
+                f"post-quiesce settle save failed: {outcome.error}"))
+
+    recovered = registry.decrypt_view(
+        trace.service, session.server_view(), _PASSWORD, trace.scheme
+    )
     check_equal("convergence", recovered, session.text, -1,
                 "decrypt(server) vs client text")
     check_no_leak(_leak_blobs(plan, session), SENTINEL)
@@ -399,6 +418,7 @@ class FuzzRunner:
         profile: str = "ci",
         mode: str | None = None,
         scheme: str | None = None,
+        service: str | None = None,
         corpus_dir: str | Path | None = None,
         shrink: bool = True,
         max_failures: int = 5,
@@ -406,11 +426,15 @@ class FuzzRunner:
         if profile not in PROFILES:
             raise ValueError(
                 f"unknown profile {profile!r}; have {sorted(PROFILES)}")
+        if service is not None and service not in SERVICES:
+            raise ValueError(
+                f"unknown service {service!r}; have {SERVICES}")
         self.seed = seed
         self.iters = iters
         self.profile = profile
         self.mode = mode
         self.scheme = scheme
+        self.service = service
         self.corpus_dir = Path(corpus_dir) if corpus_dir else None
         self.shrink = shrink
         self.max_failures = max_failures
@@ -433,6 +457,7 @@ class FuzzRunner:
             trace = generate_trace(
                 self.seed + i, self.profile,
                 mode=self.mode, scheme=self.scheme,
+                service=self.service,
             )
             violation = None
             try:

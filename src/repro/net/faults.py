@@ -55,9 +55,12 @@ _BY_KIND = {kind: counter(f"net.faults.{kind}") for kind in FAULT_KINDS}
 
 
 def updates_only(request: HttpRequest) -> bool:
-    """Spec predicate: fault only content updates (POSTs with a body),
-    leaving session opens and fetches untouched."""
-    return request.method == "POST" and bool(request.body)
+    """Spec predicate: fault only content updates (POSTs and PUTs
+    carrying a body), leaving session opens and fetches untouched.
+    Covers every backend's save verb: gdocs and Buzzword save via POST,
+    Bespin via whole-file PUT (gdocs session opens are body-less POSTs
+    and stay untouched)."""
+    return request.method in ("POST", "PUT") and bool(request.body)
 
 
 @dataclass(frozen=True)

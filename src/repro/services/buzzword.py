@@ -18,7 +18,6 @@ import re
 from typing import Callable
 
 from repro.encoding.formenc import encode_form
-from repro.errors import ProtocolError
 from repro.net.http import HttpRequest, HttpResponse
 
 __all__ = [
@@ -100,7 +99,13 @@ class BuzzwordServer:
         doc_id = path[len(_DOC_PREFIX):]
         if request.method == "POST":
             if "<doc>" not in request.body:
-                raise ProtocolError("Buzzword save must carry a <doc> body")
+                # A malformed body (e.g. truncated in flight) is the
+                # sender's problem, reported on the wire — raising here
+                # would crash the simulated service instead of letting
+                # a resilient client observe the failure and recover.
+                return HttpResponse(
+                    400, "Buzzword save must carry a <doc> body"
+                )
             self.documents[doc_id] = request.body
             return HttpResponse(200, "")
         if request.method == "GET":

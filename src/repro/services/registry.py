@@ -1,0 +1,147 @@
+"""The service registry: one name → backend/server/view for each cloud.
+
+This is the sanctioned factory surface for everything that needs "a
+service by name" — the session builder, the fuzzer, the chaos CLI, and
+the fault benchmark all iterate over :data:`SERVICE_NAMES` instead of
+hardcoding Google Documents.  It lives in the services layer because it
+is the *only* module above the wire-protocol seam that is allowed to
+touch the simulated servers (``tools/layering_check.py`` enforces that
+client/extension code gets its servers from here, never by importing
+``repro.services.gdocs.server`` and friends directly).
+
+Four registered services:
+
+``gdocs``
+    The SIV-A protocol: sessions, revisions, incremental deltas.
+``bespin``
+    Whole-file PUTs, no sessions or revisions.
+``buzzword``
+    Whole-document XML POSTs, paragraphs in ``<textRun>`` tags.
+``replicated``
+    A :class:`~repro.services.replicated.ReplicatedService` facade over
+    three independent gdocs providers.  Clients speak plain gdocs to
+    it (the facade's whole point), so its *client-side* backend is
+    :data:`~repro.services.backend.GDOCS`.
+
+:func:`server_view` reads the raw stored bytes for a document —
+whatever shape the provider stores (flat wire string, XML, majority
+ciphertext) — and :func:`decrypt_view` turns those bytes back into
+plaintext with the document password, which is how the chaos matrix
+and fuzzer state their convergence oracle uniformly across providers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.document import load_document
+from repro.core.transform import EncryptionEngine
+from repro.encoding.wire import looks_encrypted
+from repro.net.http import HttpRequest, HttpResponse
+from repro.services import buzzword
+from repro.services.backend import (
+    BESPIN,
+    BUZZWORD,
+    GDOCS,
+    ServiceBackend,
+)
+from repro.services.bespin import BespinServer
+from repro.services.buzzword import BuzzwordServer
+from repro.services.gdocs.server import GDocsServer
+from repro.services.replicated import ReplicatedService
+
+__all__ = [
+    "SERVICE_NAMES",
+    "REPLICA_COUNT",
+    "backend_for",
+    "make_server",
+    "server_view",
+    "decrypt_view",
+]
+
+#: every service the stack can run against, in documentation order
+SERVICE_NAMES = ("gdocs", "bespin", "buzzword", "replicated")
+
+#: how many gdocs providers back one replicated facade
+REPLICA_COUNT = 3
+
+_BACKENDS: dict[str, ServiceBackend] = {
+    "gdocs": GDOCS,
+    "bespin": BESPIN,
+    "buzzword": BUZZWORD,
+    # the facade emulates one gdocs endpoint toward the client
+    "replicated": GDOCS,
+}
+
+Server = Callable[[HttpRequest], HttpResponse]
+
+
+def _check(service: str) -> None:
+    if service not in SERVICE_NAMES:
+        raise ValueError(
+            f"unknown service {service!r}; expected one of {SERVICE_NAMES}"
+        )
+
+
+def backend_for(service: str) -> ServiceBackend:
+    """The wire protocol a *client* of ``service`` speaks."""
+    _check(service)
+    return _BACKENDS[service]
+
+
+def make_server(service: str) -> Server:
+    """A fresh simulated server (or replicated facade) for ``service``."""
+    _check(service)
+    if service == "gdocs":
+        return GDocsServer()
+    if service == "bespin":
+        return BespinServer()
+    if service == "buzzword":
+        return BuzzwordServer()
+    return ReplicatedService(
+        [GDocsServer() for _ in range(REPLICA_COUNT)], service=GDOCS
+    )
+
+
+def server_view(service: str, server: Server, doc_id: str) -> str:
+    """The raw bytes ``server`` currently stores for ``doc_id``
+    (ciphertext under the extension; ``""`` when nothing stored yet).
+
+    For ``replicated`` this is the majority read through the facade —
+    the logical stored state, exactly what a fetch would return.
+    """
+    _check(service)
+    if service == "gdocs":
+        store = server.store
+        if doc_id not in store.doc_ids():
+            return ""
+        return store.get(doc_id).content
+    if service == "bespin":
+        return server.files.get(doc_id, "")
+    if service == "buzzword":
+        return server.documents.get(doc_id, "")
+    response = server(GDOCS.fetch_request(doc_id))
+    return response.body if response.ok else ""
+
+
+def decrypt_view(service: str, stored: str, password: str,
+                 scheme: str = "recb") -> str:
+    """Plaintext of ``stored`` bytes as :func:`server_view` returned
+    them — the convergence oracle's view of the provider's state.
+
+    Buzzword stores XML whose ``<textRun>`` bodies are independent
+    ciphertext documents (paragraphs joined by newlines client-side);
+    every other service stores one wire document.
+    """
+    _check(service)
+    if not stored:
+        return ""
+    if service == "buzzword":
+        runs = []
+        for run in buzzword.text_runs(stored):
+            if looks_encrypted(run):
+                runs.append(load_document(run, password=password).text)
+            else:
+                runs.append(run)
+        return "\n".join(runs)
+    return EncryptionEngine(password=password, scheme=scheme).decrypt(stored)

@@ -8,23 +8,36 @@ replication — entirely client-side, requiring nothing from providers,
 in the spirit of the rest of the system.
 
 :class:`ReplicatedService` is itself an ``HttpRequest -> HttpResponse``
-callable, so it slots in wherever one Google-Documents server would:
-the extension and client above it are unchanged and unaware.  It fans
-every update out to N independent backends and reads with majority
-voting.
+callable, so it slots in wherever one provider's server would: the
+extension and client above it are unchanged and unaware.  It fans every
+update out to N independent backends and reads with majority voting.
+Everything provider-specific — how a request is classified, where the
+document id lives, how per-provider session state is rewritten into a
+fanned-out save, how raw stored bytes are copied for healing — goes
+through a :class:`repro.services.backend.ServiceBackend`, so the facade
+composes with *any* provider (gdocs sessions and revisions, Bespin
+whole-file PUTs, Buzzword XML POSTs), not just Google Documents.
 
 Mechanics worth noting:
 
-* each backend issues its own session ids and revision numbers, so the
-  facade maintains per-backend ``sid``/``rev`` maps and rewrites those
-  form fields per backend — the client sees one logical session;
+* session-capable providers issue their own session ids and revision
+  numbers, so the facade maintains per-backend ``sid``/``rev`` maps and
+  rewrites them per backend through
+  :meth:`~repro.services.backend.ServiceBackend.rewrite_session` — the
+  client sees one logical session (sessionless providers need no
+  rewriting and the hook is a no-op);
 * a backend that errors or misses updates is marked **degraded** and is
-  *healed* on a later save by copying the current (ciphertext!) content
-  from a healthy backend — possible precisely because replication never
-  needs to understand the data;
-* reads return the majority body; disagreeing minorities are logged in
-  ``divergences`` (an actively mismatching provider is adversary
-  behaviour the caller may want to know about);
+  *healed* by copying the current (ciphertext!) stored bytes from a
+  healthy backend — possible precisely because replication never needs
+  to understand the data.  Incremental providers heal before the next
+  delta fan-out (a delta applied to stale state would diverge);
+  whole-file providers are healed by the very next full save, since
+  every save rewrites the entire store;
+* reads return the majority body; a provider that answers "missing"
+  casts an empty-content vote (a brand-new document looks missing
+  everywhere — that must not count as degradation); disagreeing
+  minorities are logged in ``divergences`` (an actively mismatching
+  provider is adversary behaviour the caller may want to know about);
 * writes succeed iff at least ``quorum`` backends acknowledged.
 
 :class:`FlakyServer` wraps any backend with scriptable outages for the
@@ -38,8 +51,16 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.encoding.formenc import encode_form
+from repro.errors import ProtocolError
 from repro.net.http import HttpRequest, HttpResponse
-from repro.services.gdocs import protocol
+from repro.services.backend import (
+    GDOCS,
+    KIND_OPEN,
+    KIND_READ,
+    KIND_SAVE_DELTA,
+    KIND_SAVE_FULL,
+    ServiceBackend,
+)
 
 __all__ = ["ReplicatedService", "FlakyServer"]
 
@@ -85,44 +106,61 @@ class _BackendSlot:
 
 
 class ReplicatedService:
-    """One logical document service over N independent backends."""
+    """One logical document service over N independent backends.
 
-    def __init__(self, backends: list[Backend], quorum: int | None = None):
+    ``service`` names the wire protocol all backends speak (they must
+    agree — replicating a gdocs server alongside a Bespin one would
+    fan one provider's requests to another's endpoints).
+    """
+
+    def __init__(self, backends: list[Backend], quorum: int | None = None,
+                 service: ServiceBackend = GDOCS):
         if not backends:
             raise ValueError("need at least one backend")
         self._slots = [_BackendSlot(b) for b in backends]
         self.quorum = quorum if quorum is not None else len(backends) // 2 + 1
+        self.service = service
         self.divergences: list[str] = []
         self.failures: list[str] = []
 
     # -- dispatch --------------------------------------------------------
 
     def __call__(self, request: HttpRequest) -> HttpResponse:
-        if request.method == "GET":
-            return self._read(request)
-        form = request.form if request.body else {}
-        doc_id = request.query.get("docID", "")
-        if protocol.F_DOC_CONTENTS in form or protocol.F_DELTA in form:
-            return self._write(request, doc_id, form)
-        return self._open(request, doc_id)
+        try:
+            kind = self.service.classify(request)
+            if kind == KIND_READ:
+                return self._read(request)
+            if kind in (KIND_SAVE_FULL, KIND_SAVE_DELTA):
+                return self._write(request, kind)
+            if kind == KIND_OPEN:
+                return self._open(request)
+        except ProtocolError as exc:
+            # e.g. a corrupt fault mangled the body beyond parsing; a
+            # real provider answers 400 (GDocsServer does the same) —
+            # the facade must not crash the whole simulated cloud
+            return HttpResponse(400, encode_form({"error": str(exc)}))
+        return HttpResponse(404, encode_form({
+            "error": f"unroutable request {request.method} {request.path}",
+        }))
 
     # -- session open -------------------------------------------------------
 
-    def _open(self, request: HttpRequest, doc_id: str) -> HttpResponse:
-        responses: list[HttpResponse | None] = []
+    def _open(self, request: HttpRequest) -> HttpResponse:
+        doc_id = self.service.doc_id_of(request)
+        alive: list[HttpResponse] = []
+        sessions: list[tuple[str, int] | None] = []
         for index, slot in enumerate(self._slots):
             response = slot.backend(request)
-            if response.ok:
-                fields = response.form
+            if response.ok or self.service.is_missing(response):
                 state = slot.doc(doc_id)
-                state.sid = fields[protocol.F_SID]
-                state.rev = int(fields[protocol.A_REV])
+                session = self.service.session_of_open(response)
+                if session is not None:
+                    state.sid, state.rev = session
                 state.degraded = False
-                responses.append(response)
+                alive.append(response)
+                sessions.append(session)
             else:
                 self._mark_degraded(index, doc_id, "open failed")
-                responses.append(None)
-        alive = [r for r in responses if r is not None]
         if len(alive) < self.quorum:
             return HttpResponse(503, encode_form({
                 "error": f"only {len(alive)} of {len(self._slots)} "
@@ -130,26 +168,26 @@ class ReplicatedService:
             }))
         # Logical session id: the facade's own token; content by majority.
         content = self._majority(
-            [r.form.get(protocol.A_CONTENT, "") for r in alive], doc_id
+            [self.service.content_of_open(r) for r in alive], doc_id
         )
-        first = alive[0].form
-        return HttpResponse(200, encode_form({
-            protocol.F_SID: f"rep:{doc_id}",
-            protocol.A_REV: first[protocol.A_REV],
-            protocol.A_CONTENT: content,
-        }))
+        first = next((s for s in sessions if s is not None), None)
+        rev = first[1] if first is not None else -1
+        return self.service.synthesize_open(
+            doc_id, f"rep:{doc_id}", rev, content
+        )
 
     # -- writes -----------------------------------------------------------
 
-    def _write(self, request: HttpRequest, doc_id: str,
-               form: dict[str, str]) -> HttpResponse:
+    def _write(self, request: HttpRequest, kind: str) -> HttpResponse:
+        doc_id = self.service.doc_id_of(request)
         acks: list[HttpResponse] = []
-        is_full = protocol.F_DOC_CONTENTS in form
+        is_full = kind == KIND_SAVE_FULL
         if not is_full:
             # Heal stragglers *before* fanning out, while every healthy
             # replica still holds the pre-update content (healing after
             # an update would copy post-update bytes and then apply the
-            # delta twice).
+            # delta twice).  Full saves need none of this: they rewrite
+            # the whole store, healing degraded replicas as they land.
             for index, slot in enumerate(self._slots):
                 if slot.doc(doc_id).degraded:
                     self._heal(index, doc_id)
@@ -157,20 +195,17 @@ class ReplicatedService:
             state = slot.doc(doc_id)
             if state.degraded and not is_full:
                 continue  # heal failed; try again next update
-            if state.sid is None:
+            if self.service.capabilities.sessions and state.sid is None:
                 if not self._reopen(index, doc_id):
                     continue
                 state = slot.doc(doc_id)
-            rewritten = request.with_form({
-                **form,
-                protocol.F_SID: state.sid or "",
-                protocol.F_REV: str(state.rev),
-            })
+            rewritten = self.service.rewrite_session(
+                request, state.sid, state.rev
+            )
             response = slot.backend(rewritten)
             if response.ok:
-                ack = response.form
-                state.rev = int(ack.get(protocol.A_REV, state.rev))
-                if ack.get(protocol.A_CONFLICT) == "1":
+                state.rev = self.service.rev_of_save(response, state.rev)
+                if self.service.save_conflict(response):
                     # The backend diverged from the fleet; full saves heal.
                     self._mark_degraded(index, doc_id, "conflict")
                 else:
@@ -189,24 +224,39 @@ class ReplicatedService:
     # -- reads ------------------------------------------------------------
 
     def _read(self, request: HttpRequest) -> HttpResponse:
-        doc_id = request.query.get("docID", "")
-        bodies: list[str] = []
-        responses: list[HttpResponse] = []
+        doc_id = self.service.doc_id_of(request)
+        votes: list[tuple[str, HttpResponse]] = []
         for index, slot in enumerate(self._slots):
             response = slot.backend(request)
             if response.ok:
-                bodies.append(response.body)
-                responses.append(response)
+                votes.append((response.body, response))
+            elif self.service.is_missing(response):
+                # "no such document" is a valid answer (empty vote), not
+                # a provider failure — every replica starts that way.
+                votes.append(("", response))
             else:
                 self._mark_degraded(index, doc_id,
                                     f"read status {response.status}")
-        if not responses:
+        if not votes:
             return HttpResponse(503, encode_form({
                 "error": "no provider reachable",
             }))
-        majority = self._majority(bodies, doc_id)
-        winner = next(r for r, b in zip(responses, bodies) if b == majority)
+        majority = self._majority([body for body, _ in votes], doc_id)
+        winner = next(r for body, r in votes if body == majority)
         return winner
+
+    # -- healing ------------------------------------------------------------
+
+    def heal(self, doc_id: str) -> int:
+        """Heal every degraded replica of ``doc_id`` now; returns how
+        many were repaired.  (The write path calls :meth:`_heal` on its
+        own schedule; this is the on-demand entry point for operators
+        and tests.)"""
+        healed = 0
+        for index, slot in enumerate(self._slots):
+            if slot.doc(doc_id).degraded and self._heal(index, doc_id):
+                healed += 1
+        return healed
 
     # -- internals ----------------------------------------------------------
 
@@ -225,25 +275,34 @@ class ReplicatedService:
         self.failures.append(f"backend {index} / {doc_id}: {reason}")
 
     def _reopen(self, index: int, doc_id: str) -> bool:
+        if not self.service.capabilities.sessions:
+            return True  # nothing to establish
         slot = self._slots[index]
-        response = slot.backend(protocol.open_request(doc_id))
-        if not response.ok:
+        response = slot.backend(self.service.open_request(doc_id))
+        session = (self.service.session_of_open(response)
+                   if response.ok else None)
+        if session is None:
             return False
-        fields = response.form
         state = slot.doc(doc_id)
-        state.sid = fields[protocol.F_SID]
-        state.rev = int(fields[protocol.A_REV])
+        state.sid, state.rev = session
         return True
 
     def _heal(self, index: int, doc_id: str) -> bool:
-        """Copy the (ciphertext) content from a healthy replica."""
+        """Copy the (ciphertext) stored bytes from a healthy replica.
+
+        The copy goes through
+        :meth:`~repro.services.backend.ServiceBackend.store_request`,
+        which writes *raw stored bytes* — not through the client-facing
+        full-save builder, which may re-frame content (Buzzword's XML
+        mapping) and would double-encode an already-stored body.
+        """
         content: str | None = None
         for other_index, slot in enumerate(self._slots):
             if other_index == index:
                 continue
             if slot.doc(doc_id).degraded:
                 continue
-            response = slot.backend(protocol.fetch_request(doc_id))
+            response = slot.backend(self.service.fetch_request(doc_id))
             if response.ok:
                 content = response.body
                 break
@@ -253,12 +312,12 @@ class ReplicatedService:
             return False
         slot = self._slots[index]
         state = slot.doc(doc_id)
-        response = slot.backend(protocol.full_save_request(
-            doc_id, state.sid or "", state.rev, content
+        response = slot.backend(self.service.store_request(
+            doc_id, state.sid, state.rev, content
         ))
         if not response.ok:
             return False
-        state.rev = int(response.form[protocol.A_REV])
+        state.rev = self.service.rev_of_save(response, state.rev)
         state.degraded = False
         self.failures.append(f"backend {index} / {doc_id}: healed")
         return True

@@ -1,0 +1,168 @@
+"""Backend parity: one resilience contract, four cloud services.
+
+Since the resilience machinery moved into the shared
+:class:`repro.client.resilient.ResilientClient` core, every backend —
+gdocs, Bespin, Buzzword, and the replicated facade — makes the same
+two promises under the same hostile network, and this matrix holds all
+of them to it, cell by cell (scheme × service × fault kind):
+
+* **convergence** — after the fault plan quiesces and the recovery
+  saves land, the bytes the provider stores decrypt to exactly the
+  text the user sees (``registry.decrypt_view`` states the oracle
+  uniformly, whatever shape the provider stores);
+* **zero plaintext** — nothing that crossed the wire (completed
+  exchanges *and* requests whose exchange died in flight) contains the
+  secret token, fault or no fault;
+* **typed outcomes** — mid-fault saves may fail, but as a
+  ``SaveOutcome(ok=False)``, never a raise (the Bespin/Buzzword bug
+  this matrix regression-guards: their old clients threw a bare
+  ``ProtocolError`` through the whole session on any failed save).
+
+The gdocs-only cells with richer obligations (conflict resync,
+scheduled strikes, replay determinism) live in ``test_fault_matrix.py``
+— this file is the cross-provider half of the chaos story referenced
+by ``docs/faults.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.random import DeterministicRandomSource
+from repro.extension.session import PrivateEditingSession
+from repro.net.faults import FAULT_KINDS, FaultPlan, FaultSpec, updates_only
+from repro.net.policy import RetryPolicy
+from repro.services import registry
+
+#: lowercase letters cannot appear in Base32 ciphertext, so a sighting
+#: of this token on the wire is unambiguously a plaintext leak
+SECRET = "zebrafish manifesto"
+
+SCHEMES = ("recb", "rpc")
+SERVICES = registry.SERVICE_NAMES
+
+#: high enough that nearly every cell injects at least once, and far
+#: above the 5% floor the parity claim is meaningless below
+RATE = 0.45
+
+
+def _seed(scheme: str, service: str, kind: str) -> int:
+    """A stable, human-reproducible seed per cell (shown on failure)."""
+    return (1000 + SCHEMES.index(scheme) * 400
+            + SERVICES.index(service) * 100
+            + FAULT_KINDS.index(kind))
+
+
+def _run_cell(scheme: str, service: str, kind: str, seed: int):
+    plan = FaultPlan([FaultSpec(kind=kind, rate=RATE, match=updates_only)],
+                     seed=seed)
+    session = PrivateEditingSession(
+        f"parity-{kind}", "parity-password", scheme=scheme,
+        faults=plan, retry_policy=RetryPolicy(seed=seed),
+        verify_acks=True, rng=DeterministicRandomSource(seed),
+        service=service,
+    )
+    session.open()
+    session.type_text(0, SECRET + " first draft. ")
+    outcomes = [session.save()]
+    session.type_text(0, "Second pass: ")
+    outcomes.append(session.save())
+    session.delete_text(0, len("Second pass: "))
+    outcomes.append(session.save())
+
+    # the weather clears; recovery saves must reconcile everything.
+    # Resync/conflict repair can legitimately take a couple of rounds;
+    # un-revisioned whole-file stores additionally need the last save
+    # to land *after* any reorder-held stale request flushes.
+    plan.quiesce()
+    outcome = session.save()
+    for _ in range(4):
+        if outcome.ok and not outcome.conflict and not outcome.resynced:
+            break
+        outcome = session.save()
+    if not registry.backend_for(service).capabilities.revisioned:
+        outcome = session.save()
+    outcomes.append(outcome)
+    return plan, session, outcomes
+
+
+def _leaks(plan: FaultPlan, session: PrivateEditingSession) -> list[str]:
+    """Every wire surface an adversary saw that contains the secret."""
+    sightings = []
+    for request in plan.observed:
+        if SECRET in request.body or SECRET in request.url:
+            sightings.append(f"request {request.method} {request.url}")
+    for exchange in session.channel.exchange_log:
+        if SECRET in exchange.request.body:
+            sightings.append(f"logged request {exchange.request.url}")
+        if SECRET in exchange.response.body:
+            sightings.append(f"response to {exchange.request.url}")
+    return sightings
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("service", SERVICES)
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_parity_cell_converges_without_leaking(scheme, service, kind,
+                                               request):
+    seed = _seed(scheme, service, kind)
+    request.node.user_properties.append(("fault_seed", seed))
+    plan, session, outcomes = _run_cell(scheme, service, kind, seed)
+
+    # every save outcome is typed: a failure is ok=False, never a raise
+    assert outcomes[-1].ok, (
+        f"recovery save failed after quiesce on {service} (seed {seed}): "
+        f"{outcomes[-1].error}"
+    )
+    recovered = registry.decrypt_view(
+        service, session.server_view(), "parity-password", scheme
+    )
+    assert recovered == session.text, (
+        f"{service} store and client diverged under {kind}/{scheme} "
+        f"(seed {seed})"
+    )
+    assert _leaks(plan, session) == [], (
+        f"plaintext leaked on {service} (seed {seed})"
+    )
+
+
+@pytest.mark.parametrize("service", SERVICES)
+def test_parity_cells_injected(service):
+    """The matrix is not vacuous per service: across all kinds, the
+    rate-driven plans strike many times (checked in aggregate)."""
+    injected = 0
+    for kind in FAULT_KINDS:
+        plan, _, _ = _run_cell("recb", service, kind,
+                               _seed("recb", service, kind))
+        injected += len(plan.injections)
+    assert injected >= len(FAULT_KINDS)
+
+
+@pytest.mark.parametrize("service", ("bespin", "buzzword"))
+def test_whole_file_save_failure_is_typed(service):
+    """Regression (the satellite bugfix): a Bespin/Buzzword save that
+    the provider refuses comes back as ``SaveOutcome(ok=False)`` with
+    the failure counted — the old clients raised a bare
+    ``ProtocolError`` through the caller instead."""
+    # every update 500s: the save can never land until the plan stops
+    plan = FaultPlan(
+        [FaultSpec(kind="http_5xx", rate=1.0, match=updates_only)],
+        seed=9,
+    )
+    session = PrivateEditingSession(
+        "typed-failure", "parity-password", faults=plan,
+        retry_policy=RetryPolicy(seed=9, max_attempts=2),
+        service=service,
+    )
+    session.open()
+    session.type_text(0, SECRET)
+    outcome = session.save()  # must not raise
+    assert not outcome.ok
+    assert outcome.error, "a failed save must say why"
+    plan.quiesce()
+    settled = session.save()
+    assert settled.ok
+    recovered = registry.decrypt_view(
+        service, session.server_view(), "parity-password", "recb"
+    )
+    assert recovered == session.text

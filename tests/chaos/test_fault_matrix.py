@@ -197,130 +197,6 @@ def test_matrix_replays_identically():
     assert runs[0] == runs[1]
 
 
-# -- the legacy half of the matrix: Bespin and Buzzword -----------------------
-#
-# The paper's other two services have no deltas, no revisions, and no
-# idempotency keys: every save re-sends the whole document (Bespin as a
-# file PUT, Buzzword as an XML POST), and a failed exchange simply
-# raises at the client.  Their fault story is therefore different from
-# gdocs — recovery is "retry the save until it lands", and a full save
-# is naturally idempotent — but the two promises under test are the
-# same: the store converges to the user's text once the weather clears,
-# and the secret never crosses the wire in the clear.
-
-from repro.client.bespin_client import BespinClient  # noqa: E402
-from repro.client.buzzword_client import BuzzwordClient  # noqa: E402
-from repro.errors import NetworkTimeoutError, ProtocolError  # noqa: E402
-from repro.extension.bespin_ext import BespinExtension  # noqa: E402
-from repro.extension.buzzword_ext import BuzzwordExtension  # noqa: E402
-from repro.extension.passwords import PasswordVault  # noqa: E402
-from repro.net.channel import Channel  # noqa: E402
-from repro.services.bespin import BespinServer  # noqa: E402
-from repro.services.buzzword import BuzzwordServer  # noqa: E402
-
-
-def _saves_only(request) -> bool:
-    """Legacy saves are PUTs (Bespin) or XML POSTs (Buzzword); opens
-    and fetches stay clean so a cell always gets off the ground."""
-    return request.method in ("PUT", "POST") and bool(request.body)
-
-
-def _legacy_plan(kind: str, seed: int) -> FaultPlan:
-    return FaultPlan([FaultSpec(kind=kind, rate=0.45, match=_saves_only)],
-                     seed=seed)
-
-
-def _retry(save, attempts: int = 10) -> bool:
-    """The legacy recovery loop: full saves are idempotent, so blind
-    re-sending is safe for every fault kind (unlike deltas)."""
-    for _ in range(attempts):
-        try:
-            save()
-            return True
-        except (ProtocolError, NetworkTimeoutError):
-            continue
-    return False
-
-
-def _settle(save) -> None:
-    """Post-quiesce: save twice.  The first clean save may flush a
-    reorder-held stale request *after* itself (that is what "arrived
-    too late" means); the second overwrites whatever landed last."""
-    save()
-    save()
-
-
-def _wire_sightings(plan: FaultPlan, channel: Channel) -> list[str]:
-    sightings = []
-    for request in plan.observed:
-        if SECRET in request.body or SECRET in request.url:
-            sightings.append(f"request {request.method} {request.url}")
-    for exchange in channel.exchange_log:
-        if SECRET in exchange.request.body:
-            sightings.append(f"logged request {exchange.request.url}")
-        if SECRET in exchange.response.body:
-            sightings.append(f"response to {exchange.request.url}")
-    return sightings
-
-
-@pytest.mark.parametrize("kind", FAULT_KINDS)
-def test_bespin_cell_converges_without_leaking(kind):
-    seed = 300 + FAULT_KINDS.index(kind)
-    plan = _legacy_plan(kind, seed)
-    server = BespinServer()
-    channel = Channel(server, faults=plan)
-    path = "proj/secret.py"
-    extension = BespinExtension(PasswordVault({path: "pw"}),
-                                rng=DeterministicRandomSource(seed))
-    channel.set_mediator(extension)
-
-    client = BespinClient(channel, path)
-    client.open()
-    client.editor.insert(0, SECRET + " = load_key()")
-    _retry(client.save)
-    client.editor.insert(0, "# reviewed\n")
-    _retry(client.save)
-
-    plan.quiesce()
-    _settle(client.save)
-
-    reader = BespinClient(channel, path)
-    assert reader.open() == client.editor.text, (
-        f"store and editor diverged under {kind} (seed {seed})"
-    )
-    stored = server.files[path]
-    assert SECRET not in stored, "plaintext at rest"
-    assert _wire_sightings(plan, channel) == [], (
-        f"plaintext leaked under {kind} (seed {seed})"
-    )
-
-
-@pytest.mark.parametrize("kind", FAULT_KINDS)
-def test_buzzword_cell_converges_without_leaking(kind):
-    seed = 400 + FAULT_KINDS.index(kind)
-    plan = _legacy_plan(kind, seed)
-    server = BuzzwordServer()
-    channel = Channel(server, faults=plan)
-    doc_id = "novel"
-    extension = BuzzwordExtension(PasswordVault({doc_id: "pw"}),
-                                  rng=DeterministicRandomSource(seed))
-    channel.set_mediator(extension)
-
-    client = BuzzwordClient(channel, doc_id)
-    client.open()
-    client.paragraphs = [SECRET + " opens the first chapter."]
-    _retry(client.save)
-    client.paragraphs.append("A second paragraph, typed under fire.")
-    _retry(client.save)
-
-    plan.quiesce()
-    _settle(client.save)
-
-    reader = BuzzwordClient(channel, doc_id)
-    assert reader.open() == client.paragraphs, (
-        f"store and editor diverged under {kind} (seed {seed})"
-    )
-    assert SECRET not in server.documents[doc_id], "plaintext at rest"
-    assert _wire_sightings(plan, channel) == [], (
-        f"plaintext leaked under {kind} (seed {seed})"
-    )
+# The cross-provider half of the matrix — Bespin, Buzzword, and the
+# replicated facade under the same fault kinds, through the shared
+# resilient client — lives in test_backend_parity.py.

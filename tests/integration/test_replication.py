@@ -109,6 +109,72 @@ class TestOutagesAndHealing:
         assert doc.text == session.text
 
 
+class TestWholeFileReplication:
+    """The facade is provider-agnostic: the same outage/heal story over
+    three Bespin file stores, routed entirely through the
+    :class:`~repro.services.backend.ServiceBackend` protocol."""
+
+    def _stack(self):
+        from repro.client.bespin_client import BespinClient
+        from repro.extension.bespin_ext import BespinExtension
+        from repro.extension.passwords import PasswordVault
+        from repro.net.channel import Channel
+        from repro.net.policy import RetryPolicy
+        from repro.services.backend import BESPIN
+        from repro.services.bespin import BespinServer
+
+        backends = [FlakyServer(BespinServer()) for _ in range(3)]
+        service = ReplicatedService(backends, service=BESPIN)
+        channel = Channel(service)
+        path = "proj/notes.txt"
+        channel.set_mediator(BespinExtension(
+            PasswordVault({path: "pw"}),
+            rng=DeterministicRandomSource(5),
+        ))
+        client = BespinClient(channel, path, policy=RetryPolicy(seed=5))
+        return client, service, backends, path
+
+    def test_full_save_heals_whole_file_straggler(self):
+        client, service, backends, path = self._stack()
+        client.open()
+        client.type_text(0, "replicated across file stores. ")
+        assert client.save().ok
+        backends[2].outage(1)
+        client.type_text(0, "during outage. ")
+        assert client.save().ok  # 2/3 quorum
+        assert service.backend_health(path) == [True, True, False]
+        # whole-file providers need no copy-heal: the very next full
+        # save rewrites the entire store, straggler included
+        client.type_text(0, "after. ")
+        assert client.save().ok
+        assert service.backend_health(path) == [True, True, True]
+        stored = {b._backend.files[path] for b in backends}
+        assert len(stored) == 1
+
+    def test_explicit_heal_copies_ciphertext(self):
+        from repro.core.transform import EncryptionEngine
+
+        client, service, backends, path = self._stack()
+        client.open()
+        client.type_text(0, "authentic bespin bytes")
+        assert client.save().ok
+        backends[1].outage(1)
+        client.type_text(0, "v2. ")
+        assert client.save().ok
+        assert service.backend_health(path) == [True, False, True]
+        # operator-style on-demand heal, no further saves required
+        assert service.heal(path) == 1
+        assert service.backend_health(path) == [True, True, True]
+        assert any("healed" in f for f in service.failures)
+        stored = {b._backend.files[path] for b in backends}
+        assert len(stored) == 1
+        wire = stored.pop()
+        assert "authentic" not in wire  # ciphertext at rest, replicated
+        recovered = EncryptionEngine(password="pw",
+                                     scheme="recb").decrypt(wire)
+        assert recovered == client.editor.text
+
+
 class TestDivergence:
     def test_minority_tampering_outvoted_and_logged(self):
         session, service, backends = replicated_session()

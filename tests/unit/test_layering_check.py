@@ -1,0 +1,74 @@
+"""The layering lint has teeth (tools/layering_check.py).
+
+The real tree must pass it, and — more importantly — it must actually
+fire on each class of violation it claims to catch, so a future
+refactor cannot quietly reintroduce the client → server shortcuts this
+repo just removed.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_TOOL = (pathlib.Path(__file__).resolve().parents[2]
+         / "tools" / "layering_check.py")
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("layering_check", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_the_real_tree_is_clean(lint):
+    assert lint.main() == 0
+
+
+def test_client_importing_a_server_module_is_flagged(lint):
+    problems = lint.check_source(
+        "repro.client.sneaky",
+        "from repro.services.gdocs.server import GDocsServer\n",
+    )
+    assert len(problems) == 2  # banned module AND bound server name
+    assert "server internals" in problems[0]
+
+
+def test_client_importing_the_registry_is_flagged(lint):
+    problems = lint.check_source(
+        "repro.client.sneaky",
+        "from repro.services.registry import make_server\n",
+    )
+    assert problems and "registry" in problems[0]
+
+
+def test_extension_may_use_the_registry_but_not_servers(lint):
+    assert lint.check_source(
+        "repro.extension.stacks",
+        "from repro.services.registry import make_server\n",
+    ) == []
+    assert lint.check_source(
+        "repro.extension.sneaky",
+        "import repro.services.replicated\n",
+    )
+
+
+def test_service_importing_the_trusted_layer_is_flagged(lint):
+    problems = lint.check_source(
+        "repro.services.evil",
+        "from repro.extension.passwords import PasswordVault\n",
+    )
+    assert problems and "untrusted" in problems[0]
+
+
+def test_protocol_surface_is_allowed(lint):
+    assert lint.check_source(
+        "repro.client.fine",
+        "from repro.services.backend import GDOCS\n"
+        "from repro.services.gdocs import protocol\n"
+        "from repro.services.bespin import put_request\n",
+    ) == []

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""layering-check: keep the trusted side of the stack server-blind.
+
+The refactor that extracted :mod:`repro.services.backend` holds only if
+nothing above the seam quietly reaches around it.  This lint parses
+every module under ``src/repro`` (AST only — nothing is imported) and
+enforces the layering that ``docs/architecture.md`` documents:
+
+* **client and extension code** (``repro.client.*``,
+  ``repro.extension.*``) may import from ``repro.services`` only the
+  wire-protocol surface: ``repro.services.backend``, the request/
+  response builders (``repro.services.gdocs.protocol``,
+  ``repro.services.bespin``'s builders, ``repro.services.buzzword``'s
+  XML helpers).  The *simulated servers* and their storage
+  (``repro.services.gdocs.server`` / ``storage`` / ``pieces``), the
+  replication facade (``repro.services.replicated``), and — for the
+  client layer — the server-constructing ``repro.services.registry``
+  are off limits: a client that imports a server is a client whose
+  tests prove nothing about the wire contract.
+  (``repro.extension`` gets a registry exemption: the session/stack
+  builders are exactly the place that turns a service *name* into a
+  server.)
+* **service code** (``repro.services.*``) may not import
+  ``repro.client`` or ``repro.extension`` — providers are untrusted
+  and know nothing of the mediation stack above them.
+* as a belt-and-braces check, client/extension modules may not bind
+  the server class names (``GDocsServer``, ``BespinServer``, ...) via
+  ``from ... import`` even through a re-export.
+
+Run via ``make layering-check`` (part of ``make test``); exits
+non-zero listing every violation with its file and line.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: modules client/extension code must never import (server internals)
+SERVER_MODULES = (
+    "repro.services.gdocs.server",
+    "repro.services.gdocs.storage",
+    "repro.services.gdocs.pieces",
+    "repro.services.replicated",
+)
+
+#: server-side class names that must not be bound above the seam
+SERVER_NAMES = frozenset({
+    "GDocsServer", "BespinServer", "BuzzwordServer",
+    "ReplicatedService", "FlakyServer", "DocumentStore",
+})
+
+#: the one extension-layer module family allowed to build servers
+REGISTRY = "repro.services.registry"
+
+
+def _module_name(path: pathlib.Path) -> str:
+    relative = path.relative_to(SRC.parent).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _imports(tree: ast.AST):
+    """Yield (lineno, imported_module, bound_names) for every import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name, ()
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import; resolve best-effort later
+                continue
+            names = tuple(alias.name for alias in node.names)
+            yield node.lineno, node.module or "", names
+
+
+def _covers(imported: str, module: str) -> bool:
+    return imported == module or imported.startswith(module + ".")
+
+
+def check(path: pathlib.Path) -> list[str]:
+    """All layering violations in one source file."""
+    return check_source(_module_name(path),
+                        path.read_text(encoding="utf-8"),
+                        str(path.relative_to(REPO)))
+
+
+def check_source(module: str, source: str, where: str = "<source>"
+                 ) -> list[str]:
+    """All layering violations in ``source`` as module ``module``
+    (split out from :func:`check` so tests can feed synthetic code)."""
+    tree = ast.parse(source, filename=where)
+    problems: list[str] = []
+    in_trusted = (module.startswith("repro.client")
+                  or module.startswith("repro.extension"))
+    in_services = module.startswith("repro.services")
+
+    for lineno, imported, names in _imports(tree):
+        spot = f"{where}:{lineno}"
+        if in_trusted:
+            for banned in SERVER_MODULES:
+                if _covers(imported, banned):
+                    problems.append(
+                        f"{spot}: {module} imports server internals "
+                        f"{imported} (go through repro.services.backend)"
+                    )
+            if (_covers(imported, REGISTRY)
+                    and module.startswith("repro.client")):
+                problems.append(
+                    f"{spot}: {module} imports {REGISTRY} — clients "
+                    f"take a ServiceBackend, they do not build servers"
+                )
+            bound = SERVER_NAMES.intersection(names)
+            if bound:
+                problems.append(
+                    f"{spot}: {module} binds server name(s) "
+                    f"{', '.join(sorted(bound))} from {imported}"
+                )
+        if in_services and (_covers(imported, "repro.client")
+                            or _covers(imported, "repro.extension")):
+            problems.append(
+                f"{spot}: service module {module} imports the trusted "
+                f"layer ({imported}) — providers are untrusted and "
+                f"must not know the mediation stack"
+            )
+    return problems
+
+
+def main() -> int:
+    """Lint every module under src/repro; print violations, exit 1."""
+    problems: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        problems.extend(check(path))
+    if problems:
+        print("layering-check: FAIL")
+        for problem in problems:
+            print("  " + problem)
+        return 1
+    count = len(list(SRC.rglob('*.py')))
+    print(f"layering-check: OK ({count} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
