@@ -4,9 +4,12 @@
 PYTHON ?= python3
 
 # differential-fuzzer budgets: FUZZ_ITERS bounds the CI run inside
-# `make test`; fuzz-long runs the deep profile at FUZZ_LONG_ITERS.
+# `make test`; BURST_ITERS drives the burst profile (long keystroke
+# runs through the edit-coalescing differential); fuzz-long runs the
+# deep profile at FUZZ_LONG_ITERS.
 # COVERAGE_MIN is the line-coverage threshold `make coverage` enforces.
 FUZZ_ITERS ?= 2000
+BURST_ITERS ?= 400
 FUZZ_LONG_ITERS ?= 20000
 COVERAGE_MIN ?= 80
 
@@ -23,6 +26,7 @@ layering-check:   ## enforce the client/extension vs services import layering
 
 fuzz:             ## seeded differential fuzzing (bounded CI budget) + oracle teeth check
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(FUZZ_ITERS)
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(BURST_ITERS) --profile burst
 	$(PYTHON) tools/mutation_smoke.py
 
 fuzz-long:        ## the deep profile at full budget, plus the slow-marked tests

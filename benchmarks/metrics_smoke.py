@@ -25,10 +25,12 @@ SIDECAR = pathlib.Path(__file__).parent / "results" / "metrics-smoke.json"
 #: counters that must be populated after the workload below
 REQUIRED_NONZERO = (
     "crypto.aes.calls",
+    "crypto.aes.batch_calls",
     "doc.blocks_reencrypted",
     "doc.deltas",
     "index.node_visits",
     "net.exchanges",
+    "client.coalesce.bursts",
 )
 
 
@@ -65,6 +67,19 @@ def main() -> int:
     if missing:
         print(f"metrics-smoke: FAILED — counters never moved: {missing}",
               file=sys.stderr)
+        return 1
+
+    # Direction-split parity: every AES invocation is exactly one encrypt
+    # or one decrypt, on both the scalar and the batch path, so the split
+    # counters must sum to the total no matter how calls were batched.
+    counters = sidecar["counters"]
+    total = counters.get("crypto.aes.calls", 0)
+    split = (counters.get("crypto.aes.encrypt_calls", 0)
+             + counters.get("crypto.aes.decrypt_calls", 0))
+    if total != split:
+        print(f"metrics-smoke: FAILED — crypto.aes.calls={total} but "
+              f"encrypt_calls+decrypt_calls={split}; the direction split "
+              f"leaked calls on one path", file=sys.stderr)
         return 1
 
     registered = len(default_registry().names())

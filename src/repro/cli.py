@@ -409,7 +409,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=2000,
                    help="number of seeded traces to run (default 2000)")
     p.add_argument("--profile", default="ci",
-                   choices=["ci", "quick", "engine", "deep"],
+                   choices=["ci", "quick", "engine", "burst", "deep"],
                    help="trace-shape profile (default ci)")
     p.add_argument("--mode", choices=["engine", "session", "concurrent"],
                    help="force one execution mode (default: mixed)")

@@ -5,12 +5,14 @@ extension — they speak plaintext and never cooperate with the mediator.
 
 from repro.client.bespin_client import BespinClient
 from repro.client.buzzword_client import BuzzwordClient
+from repro.client.coalesce import EditCoalescer
 from repro.client.editor import EditorBuffer
 from repro.client.resilient import ResilientClient
 from repro.client.userjs_client import SelfEncryptingGDocsClient
 from repro.client.gdocs_client import CONFLICT_COMPLAINT, GDocsClient, SaveOutcome
 
 __all__ = [
+    "EditCoalescer",
     "EditorBuffer",
     "ResilientClient",
     "GDocsClient",

@@ -5,19 +5,30 @@ side (that is the design property the whole approach rests on); the
 :class:`EditorBuffer` is that client state: the full plaintext, edit
 operations, and the delta computation that feeds incremental saves.
 
-Like the real client, the buffer derives each save's delta by comparing
-the current text against the text at the last successful save (Myers
-diff with a fallback), rather than journaling keystrokes — so any
-sequence of local edits collapses into one compact delta per autosave.
+Each save's delta comes from a keystroke journal: every edit is folded
+into one running delta by an :class:`~repro.client.coalesce.
+EditCoalescer`, so :meth:`pending_delta` is O(burst) instead of
+re-diffing the whole document, and the burst reaches IncE as a single
+delta (one batched re-encryption pass).  When the journal cannot speak
+for the buffer — a wholesale :meth:`set_text`, or a pathologically long
+unsaved burst — it is invalidated and the buffer falls back to the
+Myers diff against the last-synced text, which is also the
+cross-check: a journal delta that fails to reproduce the current text
+is discarded in favour of the diff.
 """
 
 from __future__ import annotations
 
+from repro.client.coalesce import EditCoalescer
 from repro.core.delta import Delta
 from repro.errors import DeltaApplicationError
 from repro.workloads.diff import derive_delta
 
 __all__ = ["EditorBuffer"]
+
+#: journal cap per save interval; past this the O(burst) compose no
+#: longer beats one Myers diff and the journal steps aside
+_JOURNAL_MAX_OPS = 512
 
 
 class EditorBuffer:
@@ -26,6 +37,10 @@ class EditorBuffer:
     def __init__(self, text: str = ""):
         self._text = text
         self._synced_text = text
+        #: keystrokes since the last sync point, composed into one
+        #: delta; flush points coincide with sync points by design
+        self._journal = EditCoalescer(max_ops=_JOURNAL_MAX_OPS,
+                                      overflow="invalidate")
 
     # -- reading ------------------------------------------------------
 
@@ -54,7 +69,10 @@ class EditorBuffer:
             raise DeltaApplicationError(
                 f"insert position {pos} outside [0, {len(self._text)}]"
             )
+        if not text:
+            return
         self._text = self._text[:pos] + text + self._text[pos:]
+        self._journal.add(Delta.insertion(pos, text))
 
     def delete(self, pos: int, count: int) -> None:
         """Delete ``count`` characters at ``pos``."""
@@ -62,7 +80,10 @@ class EditorBuffer:
             raise DeltaApplicationError(
                 f"delete range [{pos}, {pos + count}) outside document"
             )
+        if not count:
+            return
         self._text = self._text[:pos] + self._text[pos + count:]
+        self._journal.add(Delta.deletion(pos, count))
 
     def replace(self, pos: int, count: int, text: str) -> None:
         """Replace ``count`` characters at ``pos`` with ``text``."""
@@ -72,23 +93,43 @@ class EditorBuffer:
     def apply_delta(self, delta: Delta) -> None:
         """Apply a delta to the buffer."""
         self._text = delta.apply(self._text)
+        self._journal.add(delta)
 
     def set_text(self, text: str) -> None:
         """Replace the whole text, keeping the last sync point (so the
         change is included in the next pending delta)."""
         self._text = text
+        self._journal.invalidate()
 
     # -- save-boundary bookkeeping --------------------------------------
 
     def pending_delta(self) -> Delta:
-        """The delta from the last sync point to the current text."""
+        """The delta from the last sync point to the current text.
+
+        O(burst) from the keystroke journal when it is live; Myers diff
+        of the two texts otherwise.  The journal's answer is verified
+        against the current text before being trusted.
+        """
+        if self._journal.valid:
+            delta = self._journal.peek()
+            try:
+                if delta.apply(self._synced_text) == self._text:
+                    return delta
+            except DeltaApplicationError:
+                pass
+            # the journal lost the plot (should not happen; the diff
+            # both recovers and keeps the save correct)
+            self._journal.invalidate()
         return derive_delta(self._synced_text, self._text)
 
     def mark_synced(self) -> None:
         """Record that the current text reached the server."""
         self._synced_text = self._text
+        self._journal.flush("save")
 
-    def resync(self, text: str) -> None:
-        """Adopt authoritative content (conflict recovery)."""
+    def resync(self, text: str, reason: str = "resync") -> None:
+        """Adopt authoritative content (conflict recovery); ``reason``
+        labels the burst boundary (``"resync"`` or ``"conflict"``)."""
         self._text = text
         self._synced_text = text
+        self._journal.flush(reason)

@@ -418,14 +418,14 @@ class ResilientClient:
             # landed: the server's text already IS our local text.
             # There is nothing to replay — rebasing the pending edit
             # over it would apply the edit a second time.
-            self.editor.resync(fetched)
+            self.editor.resync(fetched, reason="conflict")
             self._rev = rev
             self._did_full_save = True
             return
 
         pending = derive_delta(synced, local)
         server_change = derive_delta(synced, fetched)
-        self.editor.resync(fetched)
+        self.editor.resync(fetched, reason="conflict")
         try:
             rebased = transform(pending, server_change, priority="right")
             self.editor.set_text(rebased.apply(fetched))
@@ -464,7 +464,7 @@ class ResilientClient:
         available; otherwise (the extension blanked it) complain exactly
         as the paper observed."""
         if ack.content_from_server:
-            self.editor.resync(ack.content_from_server)
+            self.editor.resync(ack.content_from_server, reason="conflict")
             if ack.rev is not None:
                 self._rev = ack.rev
         else:

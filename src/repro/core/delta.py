@@ -91,6 +91,8 @@ def _escape(text: str) -> str:
 
 
 def _unescape(text: str) -> str:
+    if "%" not in text:  # the overwhelmingly common case: no escapes
+        return text
     out: list[str] = []
     i = 0
     while i < len(text):

@@ -286,6 +286,13 @@ PROFILES = {
     "engine": Profile(
         name="engine", mode_weights=(1.0, 0.0, 0.0), fault_prob=0.0,
     ),
+    # long keystroke runs for the edit-coalescing differential: engine
+    # mode only (the oracle drives the document directly), no faults,
+    # enough ops per trace that bursts of every size hit the cap paths
+    "burst": Profile(
+        name="burst", mode_weights=(1.0, 0.0, 0.0), max_ops=24,
+        max_insert=32, fault_prob=0.0,
+    ),
     "deep": Profile(
         name="deep", mode_weights=(0.45, 0.30, 0.25), max_init=600,
         max_ops=32, max_insert=64, max_delete=160, fault_prob=0.8,

@@ -45,6 +45,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.client.coalesce import EditCoalescer
 from repro.core.document import create_document
 from repro.core.keys import KeyMaterial
 from repro.core.transform import EncryptionEngine
@@ -157,7 +158,66 @@ def _run_engine(trace: Trace) -> str:
         check_document(doc, oracle, step)
 
     check_roundtrip(doc, oracle, -1)
+    _check_coalescing(trace)
     return doc.wire()
+
+
+#: burst cap for the coalescing differential — small enough that a
+#: typical trace flushes several bursts through the cap path
+_COALESCE_DIFF_MAX_OPS = 8
+
+
+def _check_coalescing(trace: Trace) -> None:
+    """Differential oracle for the coalesced cipher path.
+
+    The tentpole safety obligation: folding a burst of keystroke deltas
+    into one composed delta and encrypting every touched cluster in a
+    single batched cipher call must be *wire-identical* — same cdelta,
+    same full ciphertext — to the sequential reference path that issues
+    one cipher call per cluster (``_coalesce_ciphers = False``).  Both
+    documents share the trace's seed, so any byte of divergence is a
+    real bug in the coalescing layer, never nonce noise.
+    """
+
+    def build(coalesce: bool):
+        doc = create_document(
+            trace.init,
+            key_material=_engine_keys(),
+            scheme=trace.scheme,
+            block_chars=trace.block_chars,
+            rng=DeterministicRandomSource(trace.seed or 1),
+            index_factory=_INDEX_FACTORIES[trace.index],
+        )
+        doc._coalesce_ciphers = coalesce
+        return doc
+
+    batched, sequential = build(True), build(False)
+    text = trace.init
+    journal = EditCoalescer(max_ops=_COALESCE_DIFF_MAX_OPS)
+
+    def apply_burst(burst, step: int) -> None:
+        if burst is None:
+            return
+        wire_b = batched.apply_delta(burst).serialize()
+        wire_s = sequential.apply_delta(burst).serialize()
+        check_equal("coalesce-divergence", wire_b, wire_s, step,
+                    "cdelta wire, batched vs per-cluster ciphers")
+        check_equal("coalesce-divergence", batched.wire(),
+                    sequential.wire(), step,
+                    "ciphertext, batched vs per-cluster ciphers")
+
+    for step, op in enumerate(trace.ops):
+        if op[0] == "s":
+            apply_burst(journal.flush("save"), step)
+            continue
+        delta = op_delta(op, len(text))
+        text = apply_op(text, op)
+        if delta is None:
+            continue
+        apply_burst(journal.add(delta), step)
+    apply_burst(journal.flush("drain"), len(trace.ops))
+    check_document(batched, text, -1)
+    check_roundtrip(batched, text, -1)
 
 
 # -- session mode ------------------------------------------------------------

@@ -132,11 +132,17 @@ class PieceTable:
         if self._length <= SMALL_DOC_CHARS:
             # One C-speed string splice; ``materialize`` is cached from
             # the previous reset, so this stays O(length) with a tiny
-            # constant — faster than a piece walk at this size.
-            self.reset(delta.apply(self.materialize()))
+            # constant — faster than a piece walk at this size.  Only
+            # the cheap counters fire here: the per-doc piece histogram
+            # is a piece-walk diagnostic, and its observe() costs more
+            # than the splice's per-edit bookkeeping budget allows.
+            text = delta.apply(self.materialize())
+            self._buffers = [text]
+            self._pieces = [(0, 0, len(text))] if text else []
+            self._length = len(text)
+            self._text = text
             _APPLIES.inc()
             _PIECES_WALKED.inc(len(delta.ops))
-            _PIECES_PER_DOC.observe(len(self._pieces))
             return
         inserted = [op.text for op in delta.ops if isinstance(op, Insert)]
         add_buf = len(self._buffers)

@@ -173,7 +173,7 @@ class StoredDocument:
         """
         delta = Delta.parse(delta_text)
         before = self._table.snapshot()
-        delta.apply(self._table)
+        self._table.apply_delta(delta)
         if self._table.length > MAX_DOCUMENT_CHARS:
             would_be = self._table.length
             self._table.restore(before)
