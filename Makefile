@@ -13,12 +13,12 @@ BURST_ITERS ?= 400
 FUZZ_LONG_ITERS ?= 20000
 COVERAGE_MIN ?= 80
 
-.PHONY: install test metrics-smoke docs-check layering-check fuzz fuzz-long mutation-smoke coverage bench bench-edits bench-faults figures examples all clean
+.PHONY: install test metrics-smoke docs-check layering-check fuzz fuzz-long mutation-smoke coverage bench bench-edits bench-faults bench-load bench-load-smoke figures examples all clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: metrics-smoke docs-check layering-check fuzz
+test: metrics-smoke docs-check layering-check fuzz bench-load-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
 
 layering-check:   ## enforce the client/extension vs services import layering
@@ -53,6 +53,12 @@ bench-edits:      ## edit-throughput sweep -> BENCH_edit_throughput.json
 
 bench-faults:     ## fault-rate sweep -> BENCH_faults.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py
+
+bench-load:       ## 100/1k/10k-session load sweep (socket + in-process) -> BENCH_load.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_load.py
+
+bench-load-smoke: ## 16-session load-generator smoke (both transports, faults on)
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_load.py --smoke
 
 figures:          ## timings + qualitative shape assertions + tables
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/

@@ -16,6 +16,12 @@ documents as files:
   drops/duplicates/corrupts traffic while the resilient client retries
   and resyncs; prints what was injected and whether the document
   converged
+* ``serve``    — host the registry's simulated services behind a real
+  asyncio TCP socket (``repro.net.server``): multi-tenant,
+  document-sharded, speaking length-prefixed HTTP-form frames
+* ``loadgen``  — drive N concurrent private-editing sessions against a
+  served (or self-hosted) socket server — the load generator behind
+  ``make bench-load``, one cell at a time
 * ``stats``    — render a JSON metrics sidecar (as written by
   ``--metrics-json`` or the benchmark harness) as a readable listing
 * ``fuzz``     — the differential fuzzer (``repro.fuzz``): seeded edit
@@ -266,6 +272,55 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if converged else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: host the simulated services on a TCP socket
+    until interrupted (any registry backend, multi-tenant, sharded)."""
+    import asyncio
+
+    from repro.net.server import ReproServer
+
+    server = ReproServer(
+        host=args.host, port=args.port, shards=args.shards,
+        service_time=args.service_time,
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(f"repro server on {host}:{port} "
+              f"({args.shards} shards/tenant, "
+              f"service_time={args.service_time * 1000:.0f}ms); "
+              f"Ctrl-C to stop", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nserver stopped", file=sys.stderr)
+    finally:
+        server.shutdown()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro loadgen``: one load cell — N concurrent sessions against
+    a socket server (self-hosted unless ``--host/--port`` name one)."""
+    import json as _json
+
+    from repro.bench.load import run_load
+
+    address = None
+    if args.port:
+        address = (args.host, args.port)
+    cell = run_load(
+        sessions=args.sessions, rounds=args.rounds, service=args.service,
+        transport=args.transport, address=address, workers=args.workers,
+        fault_rate=args.rate, service_time=args.service_time,
+    )
+    _json.dump(cell.row(), sys.stdout, indent=2)
+    print()
+    return 0 if cell.converged_sample else 1
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """``repro fuzz``: run the differential fuzzer; exit 1 on any
     invariant violation (failures are shrunk and written as replay
@@ -429,6 +484,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print progress every 500 cases")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("serve", help="host the simulated services on "
+                                     "a TCP socket")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8911,
+                   help="TCP port (default 8911; 0 picks a free one)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="document shards per (service, tenant) — "
+                        "per-doc serialized, cross-doc concurrent")
+    p.add_argument("--service-time", type=float, default=0.0,
+                   help="simulated per-request server handling time in "
+                        "seconds (non-blocking; default 0)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("loadgen", help="drive N concurrent sessions "
+                                       "against a socket server")
+    p.add_argument("--sessions", type=int, default=100)
+    p.add_argument("--rounds", type=int, default=2,
+                   help="edit+save rounds per session")
+    p.add_argument("--service",
+                   choices=["gdocs", "bespin", "buzzword", "replicated"],
+                   default="gdocs")
+    p.add_argument("--transport", choices=["socket", "inprocess"],
+                   default="socket")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="server to target (with --port); self-hosts "
+                        "when no --port is given")
+    p.add_argument("--port", type=int, default=0,
+                   help="server port (0 = self-host a fresh server)")
+    p.add_argument("--workers", type=int, default=64,
+                   help="driver threads (socket mode)")
+    p.add_argument("--rate", type=float, default=0.05,
+                   help="per-exchange fault probability per kind")
+    p.add_argument("--service-time", type=float, default=0.020,
+                   help="self-hosted server's simulated handling time")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("stats", help="render a JSON metrics sidecar")
     p.add_argument("infile", help="sidecar path (from --metrics-json "

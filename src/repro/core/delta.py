@@ -370,7 +370,8 @@ class Delta:
 
 
 def _parse_count(body: str, token: str) -> int:
-    if not body.isdigit():
+    # isdigit() alone admits Unicode digits (e.g. '²') that int() rejects
+    if not (body.isascii() and body.isdigit()):
         raise DeltaSyntaxError(f"bad count in delta op {token!r}")
     value = int(body)
     if value <= 0:

@@ -54,18 +54,32 @@ class PrivateEditingSession:
         retry_policy=None,
         verify_acks: bool = False,
         service: str = "gdocs",
+        transport=None,
+        clock=None,
+        max_log: int | None = None,
     ):
         #: which cloud this session runs against (a
         #: repro.services.registry.SERVICE_NAMES name)
         self.service = service
-        self.server = server if server is not None \
-            else registry.make_server(service)
+        #: transport: an optional repro.net.transport.Transport that
+        #: replaces the in-process server entirely (e.g. an
+        #: AsyncioSocketTransport to a remote repro.net.server); when
+        #: set, no local server is built and ``server`` is ignored.
+        #: clock: share one SimClock across many sessions (load tests).
+        self.transport = transport
+        if transport is not None:
+            self.server = None
+        else:
+            self.server = server if server is not None \
+                else registry.make_server(service)
         #: faults: an optional repro.net.faults.FaultPlan making the
         #: cloud unreliable; retry_policy: the client's
         #: repro.net.policy.RetryPolicy answer to it; verify_acks: have
         #: the extension hash-check every Ack against its mirror
         self.faults = faults
-        self.channel = Channel(self.server, latency=latency, faults=faults)
+        target = transport if transport is not None else self.server
+        self.channel = Channel(target, latency=latency, clock=clock,
+                               max_log=max_log, faults=faults)
         self.vault = PasswordVault({doc_id: password})
         self.extension = None
         if extension_enabled:
@@ -119,7 +133,16 @@ class PrivateEditingSession:
     # -- inspection -------------------------------------------------------
 
     def server_view(self) -> str:
-        """What the (untrusted) server stores for this document."""
+        """What the (untrusted) server stores for this document.
+
+        Over a socket transport the bytes come back across the wire
+        (the transport's ``server_view`` control frame); in-process the
+        registry reads the local server's store directly — either way,
+        the convergence oracle sees the same thing.
+        """
+        remote = getattr(self.transport, "server_view", None)
+        if remote is not None:
+            return remote(self.client.doc_id)
         return registry.server_view(self.service, self.server,
                                     self.client.doc_id)
 

@@ -1,12 +1,26 @@
 """Network substrate: message types, latency simulation, fault
-injection, retry policy, and the interceptable channel the extension
-hooks."""
+injection, retry policy, the interceptable channel the extension hooks,
+and (PR 7) the transport seam — in-process or pooled/pipelined TCP to
+an asyncio socket server (:mod:`repro.net.server`, imported explicitly
+so the in-process stack never pays for it)."""
 
 from repro.net.channel import Channel, Exchange, Mediator
 from repro.net.faults import FAULT_KINDS, FaultPlan, FaultSpec, updates_only
 from repro.net.http import HttpRequest, HttpResponse, parse_url
-from repro.net.latency import INSTANT, LAN, WAN_2011, LatencyModel, SimClock
+from repro.net.latency import (
+    INSTANT,
+    LAN,
+    WAN_2011,
+    LatencyModel,
+    SharedLink,
+    SimClock,
+)
 from repro.net.policy import RETRYABLE_STATUSES, RetryPolicy, RetryState
+from repro.net.transport import (
+    AsyncioSocketTransport,
+    InProcessTransport,
+    Transport,
+)
 
 __all__ = [
     "HttpRequest",
@@ -15,7 +29,11 @@ __all__ = [
     "Channel",
     "Exchange",
     "Mediator",
+    "Transport",
+    "InProcessTransport",
+    "AsyncioSocketTransport",
     "LatencyModel",
+    "SharedLink",
     "SimClock",
     "WAN_2011",
     "LAN",

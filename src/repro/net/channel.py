@@ -33,6 +33,7 @@ from typing import Callable, MutableSequence, Protocol
 from repro.errors import BlockedRequestError
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.latency import INSTANT, LatencyModel, SimClock
+from repro.net.transport import InProcessTransport, Transport
 from repro.obs import counter, histogram
 
 __all__ = ["Mediator", "Channel", "Exchange"]
@@ -89,7 +90,14 @@ class Channel:
     ):
         if max_log is not None and max_log < 1:
             raise ValueError(f"max_log must be >= 1 or None, got {max_log}")
-        self._server = server
+        # the transport seam (PR 7): a bare server callable is wrapped
+        # in InProcessTransport (byte-for-byte the old direct call); an
+        # AsyncioSocketTransport passes through and the same mediation,
+        # fault, and latency machinery rides on top of real TCP
+        self._server = (
+            server if isinstance(server, Transport)
+            else InProcessTransport(server)
+        )
         #: optional repro.net.faults.FaultPlan making delivery unreliable
         self.faults = faults
         self._latency = latency if latency is not None else INSTANT()
@@ -105,6 +113,11 @@ class Channel:
         self.blocked_log: MutableSequence[HttpRequest] = (
             [] if max_log is None else deque(maxlen=max_log)
         )
+
+    @property
+    def transport(self) -> Transport:
+        """The transport this channel delivers through."""
+        return self._server
 
     # -- configuration ---------------------------------------------------
 
@@ -166,7 +179,7 @@ class Channel:
             response = self._response_tamperer(response)
 
         latency = self._latency.request_latency(
-            outgoing.wire_bytes, response.wire_bytes
+            outgoing.wire_bytes, response.wire_bytes, now=self.clock.now()
         )
         sent_at = self.clock.now()
         self.clock.advance(latency)

@@ -15,14 +15,32 @@ server processing per save, and ~4 MB/s of effective throughput
 EXPERIMENTS.md was produced under exactly this calibration, which is
 recorded there).  The degradation percentages the benchmark reports
 depend on the ratio of crypto time to these numbers.
+
+**Shared bandwidth (PR 7).**  Historically the transfer term charged
+``transferred_bytes / bytes_per_second`` independently per request —
+fine for one session, but ten thousand concurrent sessions would each
+enjoy the full 4 MB/s link, a free 10,000x bandwidth multiplier that
+makes simulated load numbers incomparable with the socket transport's
+real ones.  A :class:`LatencyModel` may now carry a :class:`SharedLink`
+(``link=``): every transfer *reserves* capacity on the link in arrival
+order, and a request that finds the link busy waits for the earlier
+transfers to drain first.  Pass the caller's current clock reading via
+``request_latency(..., now=...)`` so the link knows when each transfer
+arrives; single-session behaviour with an idle link is numerically
+unchanged (the wait is zero and the transfer term is identical).
+Models without a link keep the original independent-per-request
+semantics, so all pre-PR-7 calibrations and baselines are untouched.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 
-__all__ = ["SimClock", "LatencyModel", "WAN_2011", "LAN", "INSTANT"]
+__all__ = [
+    "SimClock", "LatencyModel", "SharedLink", "WAN_2011", "LAN", "INSTANT",
+]
 
 
 class SimClock:
@@ -43,13 +61,59 @@ class SimClock:
         return self._now
 
 
+class SharedLink:
+    """One access link's bandwidth, shared by every session that holds it.
+
+    The link serializes transfers: a reservation arriving at ``now``
+    starts when the link frees up (``max(now, free_at)``), occupies the
+    link for ``nbytes / bytes_per_second``, and the caller's transfer
+    term is the time from arrival to completion — queueing wait
+    included.  Crude (real TCP flows share a bottleneck fairly rather
+    than in FIFO bursts), but it restores the one property the
+    independent-per-request model lacks: **aggregate** transfer
+    throughput across all sessions on the link cannot exceed
+    ``bytes_per_second``.
+
+    Thread-safe, so socket-mode load generators may share one link
+    object across worker threads; with per-session simulated clocks the
+    FIFO order is the order reservations are *made*, which is the load
+    generator's scheduling order — exactly the contention being modeled.
+    """
+
+    def __init__(self, bytes_per_second: float = 4_000_000.0):
+        if bytes_per_second <= 0:
+            raise ValueError(
+                f"bytes_per_second must be > 0, got {bytes_per_second}"
+            )
+        self.bytes_per_second = bytes_per_second
+        self._free_at = 0.0
+        self._lock = threading.Lock()
+
+    def reserve(self, now: float, nbytes: int) -> float:
+        """Reserve the link for ``nbytes`` arriving at ``now``; returns
+        the seconds from arrival until the transfer completes."""
+        duration = nbytes / self.bytes_per_second
+        with self._lock:
+            start = max(now, self._free_at)
+            self._free_at = start + duration
+            return self._free_at - now
+
+    @property
+    def busy_until(self) -> float:
+        """The time at which the link next becomes idle."""
+        with self._lock:
+            return self._free_at
+
+
 @dataclass
 class LatencyModel:
     """Stochastic request-latency model.
 
     Defaults approximate a 2011 broadband client talking to Google over
     HTTP: ~80 ms RTT, ~100 ms server handling per save, ~4 MB/s
-    effective transfer.
+    effective transfer.  With ``link`` set (a :class:`SharedLink`), the
+    transfer term reserves capacity on that shared link instead of
+    assuming a private one — see the module docstring.
     """
 
     rtt_mean: float = 0.080
@@ -58,16 +122,28 @@ class LatencyModel:
     server_jitter: float = 0.020
     bytes_per_second: float = 4_000_000.0
     rng: random.Random = field(default_factory=lambda: random.Random(0))
+    link: SharedLink | None = None
 
     def _positive_normal(self, mean: float, dev: float) -> float:
         value = self.rng.gauss(mean, dev)
         return max(value, mean * 0.25, 0.0)
 
-    def request_latency(self, request_bytes: int, response_bytes: int) -> float:
-        """Latency of one request/response exchange, in seconds."""
+    def request_latency(self, request_bytes: int, response_bytes: int,
+                        now: float | None = None) -> float:
+        """Latency of one request/response exchange, in seconds.
+
+        ``now`` is the caller's clock reading at send time; it only
+        matters when a :class:`SharedLink` is attached (the link needs
+        to know when the transfer arrives to model queueing).
+        """
         rtt = self._positive_normal(self.rtt_mean, self.rtt_jitter)
         server = self._positive_normal(self.server_mean, self.server_jitter)
-        transfer = (request_bytes + response_bytes) / self.bytes_per_second
+        nbytes = request_bytes + response_bytes
+        if self.link is not None:
+            transfer = self.link.reserve(now if now is not None else 0.0,
+                                         nbytes)
+        else:
+            transfer = nbytes / self.bytes_per_second
         return rtt + server + transfer
 
 

@@ -1,0 +1,290 @@
+"""Pooled, pipelined client connections for the socket transport.
+
+One editing session performs one request at a time, but a load of ten
+thousand concurrent sessions must not mean ten thousand sockets.  The
+:class:`ConnectionPool` multiplexes every caller over a small, bounded
+set of TCP connections, and *pipelines* within each one: a connection
+admits up to ``window`` requests in flight simultaneously (a
+per-connection sliding window), writes are serialized under a lock, and
+a dedicated reader thread matches responses — which may complete in any
+order — back to their callers by request id.
+
+Failure semantics are deliberately the resilient client's native
+dialect: a window that never opens, an answer that never arrives, or a
+connection that dies mid-flight all surface as
+:class:`~repro.errors.NetworkTimeoutError` — indistinguishable from the
+fault plan's ``drop``/``blackhole`` weather, and therefore already
+covered by the retry policy, idempotency keys, and the server's replay
+cache.  A dead connection is discarded and transparently replaced (one
+reconnect attempt per request; counted under ``client.pool.reconnects``).
+
+Thread-safe throughout: any number of sessions (or load-generator
+workers) may call :meth:`ConnectionPool.request` concurrently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+
+from repro.encoding.formenc import encode_form, parse_form
+from repro.errors import NetworkTimeoutError, ProtocolError
+from repro.obs import counter, gauge
+
+__all__ = ["ConnectionPool", "read_frame", "write_frame", "MAX_FRAME_BYTES"]
+
+_CONNECTS = counter("client.pool.connects")
+_RECONNECTS = counter("client.pool.reconnects")
+_SENDS = counter("client.pool.sends")
+_PIPELINED = counter("client.pool.pipelined")
+_WINDOW_WAITS = counter("client.pool.window_waits")
+_TIMEOUTS = counter("client.pool.timeouts")
+_INFLIGHT = gauge("client.pool.inflight")
+
+#: refuse frames past this size — a garbage length prefix must not
+#: look like an instruction to buffer gigabytes
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame to a blocking socket."""
+    sock.sendall(b"%d\n" % len(payload) + payload)
+
+
+def read_frame(rfile) -> bytes | None:
+    """Read one frame from a buffered binary reader; ``None`` on EOF.
+
+    Raises :class:`~repro.errors.ProtocolError` on a malformed or
+    oversized length prefix (the stream is unrecoverable past that
+    point — framing is lost).
+    """
+    header = rfile.readline(32)
+    if not header:
+        return None
+    try:
+        length = int(header)
+    except ValueError:
+        raise ProtocolError(f"bad frame length {header!r}") from None
+    if not 0 <= length <= MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} out of range")
+    payload = rfile.read(length)
+    if len(payload) != length:
+        return None  # truncated mid-frame: treat as EOF
+    return payload
+
+
+class _Waiter:
+    """One caller parked on a response id."""
+
+    __slots__ = ("event", "fields", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.fields: dict[str, str] | None = None
+        self.error: str | None = None
+
+    def resolve(self, fields: dict[str, str]) -> None:
+        self.fields = fields
+        self.event.set()
+
+    def fail(self, error: str) -> None:
+        self.error = error
+        self.event.set()
+
+
+class _Connection:
+    """One pipelined TCP connection: locked writes, reader thread,
+    a bounded in-flight window, and id→waiter response matching."""
+
+    def __init__(self, host: str, port: int, window: int, timeout: float):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(None)  # reader blocks; callers time out
+        self._rfile = self._sock.makefile("rb")
+        self._wlock = threading.Lock()
+        self._plock = threading.Lock()
+        self._window = threading.BoundedSemaphore(window)
+        self._pending: dict[str, _Waiter] = {}
+        self.inflight = 0
+        self.dead = False
+        _CONNECTS.inc()
+        self._reader = threading.Thread(
+            target=self._read_loop, daemon=True,
+            name=f"repro-pool-reader-{id(self):x}",
+        )
+        self._reader.start()
+
+    # -- caller side -----------------------------------------------------
+
+    def request(self, rid: str, payload: bytes,
+                timeout: float) -> dict[str, str]:
+        """Send one frame and wait for the response frame with ``rid``."""
+        if not self._window.acquire(timeout=timeout):
+            _WINDOW_WAITS.inc()
+            raise NetworkTimeoutError(
+                f"connection window stalled for {timeout}s "
+                f"({self.inflight} requests in flight)"
+            )
+        waiter = _Waiter()
+        try:
+            with self._plock:
+                if self.dead:
+                    raise ConnectionError("connection already dead")
+                self._pending[rid] = waiter
+                self.inflight += 1
+                _INFLIGHT.add(1)
+            try:
+                with self._wlock:
+                    write_frame(self._sock, payload)
+            except OSError as exc:
+                raise ConnectionError(f"send failed: {exc}") from exc
+            if not waiter.event.wait(timeout):
+                _TIMEOUTS.inc()
+                raise NetworkTimeoutError(
+                    f"no response within {timeout}s (request {rid})"
+                )
+            if waiter.error is not None:
+                # the connection died with this request in flight: the
+                # server may or may not have processed it — the same
+                # ambiguity as a blackhole fault, resolved by retrying
+                # under the idempotency key
+                raise ConnectionError(waiter.error)
+            return waiter.fields or {}
+        finally:
+            with self._plock:
+                if self._pending.pop(rid, None) is not None:
+                    self.inflight -= 1
+                    _INFLIGHT.add(-1)
+            self._window.release()
+
+    # -- reader side -----------------------------------------------------
+
+    def _read_loop(self) -> None:
+        reason = "connection closed by peer"
+        try:
+            while True:
+                payload = read_frame(self._rfile)
+                if payload is None:
+                    break
+                fields = parse_form(payload.decode("utf-8"))
+                rid = fields.get("id", "")
+                with self._plock:
+                    waiter = self._pending.pop(rid, None)
+                    if waiter is not None:
+                        self.inflight -= 1
+                        _INFLIGHT.add(-1)
+                if waiter is not None:
+                    waiter.resolve(fields)
+        except (OSError, ProtocolError, UnicodeDecodeError) as exc:
+            reason = f"{type(exc).__name__}: {exc}"
+        finally:
+            self._fail_all(reason)
+
+    def _fail_all(self, reason: str) -> None:
+        with self._plock:
+            self.dead = True
+            pending, self._pending = self._pending, {}
+            self.inflight -= len(pending)
+            _INFLIGHT.add(-len(pending))
+        for waiter in pending.values():
+            waiter.fail(reason)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._fail_all("pool closed")
+
+
+class ConnectionPool:
+    """A bounded set of pipelined connections to one server address.
+
+    ``size`` caps the sockets; ``window`` caps requests in flight per
+    connection, so total concurrency is ``size × window``.  Requests
+    pick the least-loaded live connection (creating one lazily while
+    under the cap), which both balances the pool and maximizes
+    pipelining under load.
+    """
+
+    def __init__(self, host: str, port: int, *, size: int = 4,
+                 window: int = 32, timeout: float = 10.0):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.host = host
+        self.port = port
+        self.size = size
+        self.window = window
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._conns: list[_Connection] = []
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    # -- connection management -------------------------------------------
+
+    def _pick(self) -> _Connection:
+        with self._lock:
+            if self._closed:
+                raise NetworkTimeoutError("connection pool is closed")
+            self._conns = [c for c in self._conns if not c.dead]
+            idle = [c for c in self._conns if c.inflight == 0]
+            if not idle and len(self._conns) < self.size:
+                conn = _Connection(self.host, self.port, self.window,
+                                   self.timeout)
+                self._conns.append(conn)
+                return conn
+            conn = min(self._conns, key=lambda c: c.inflight)
+            if conn.inflight > 0:
+                _PIPELINED.inc()
+            return conn
+
+    @property
+    def connections(self) -> int:
+        """Live connections currently open."""
+        with self._lock:
+            return sum(1 for c in self._conns if not c.dead)
+
+    # -- the one public operation ----------------------------------------
+
+    def request(self, fields: dict[str, str],
+                timeout: float | None = None) -> dict[str, str]:
+        """Send one frame (a field dict) and return the response fields.
+
+        Assigns the request id, routes to the least-loaded connection,
+        and transparently replaces a connection that died under the
+        request (one retry); unrecoverable delivery failures raise
+        :class:`~repro.errors.NetworkTimeoutError`.
+        """
+        _SENDS.inc()
+        deadline = timeout if timeout is not None else self.timeout
+        last_error = "no connection"
+        for attempt in range(2):
+            rid = str(next(self._ids))
+            payload = encode_form({**fields, "id": rid}).encode("utf-8")
+            try:
+                conn = self._pick()
+            except OSError as exc:
+                last_error = f"connect failed: {exc}"
+                break
+            try:
+                return conn.request(rid, payload, deadline)
+            except ConnectionError as exc:
+                last_error = str(exc)
+                _RECONNECTS.inc()
+                continue
+        _TIMEOUTS.inc()
+        raise NetworkTimeoutError(
+            f"pooled request failed ({last_error}); the server may or "
+            f"may not have processed it"
+        )
+
+    def close(self) -> None:
+        """Close every connection; subsequent requests fail fast."""
+        with self._lock:
+            self._closed = True
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()

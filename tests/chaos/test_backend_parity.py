@@ -53,14 +53,15 @@ def _seed(scheme: str, service: str, kind: str) -> int:
             + FAULT_KINDS.index(kind))
 
 
-def _run_cell(scheme: str, service: str, kind: str, seed: int):
+def _run_cell(scheme: str, service: str, kind: str, seed: int, *,
+              transport=None, doc: str | None = None):
     plan = FaultPlan([FaultSpec(kind=kind, rate=RATE, match=updates_only)],
                      seed=seed)
     session = PrivateEditingSession(
-        f"parity-{kind}", "parity-password", scheme=scheme,
+        doc or f"parity-{kind}", "parity-password", scheme=scheme,
         faults=plan, retry_policy=RetryPolicy(seed=seed),
         verify_acks=True, rng=DeterministicRandomSource(seed),
-        service=service,
+        service=service, transport=transport,
     )
     session.open()
     session.type_text(0, SECRET + " first draft. ")
@@ -136,6 +137,58 @@ def test_parity_cells_injected(service):
                                _seed("recb", service, kind))
         injected += len(plan.injections)
     assert injected >= len(FAULT_KINDS)
+
+
+# -- the socket-transport column (PR 7) ----------------------------------
+#
+# The same parity contract must hold when the fault plan wraps the real
+# wire: faults strike *outside* the pooled TCP transport, retries and
+# resyncs ride pipelined connections, and the stored bytes come back
+# through the server's `view` op instead of a direct store read.
+
+
+@pytest.fixture(scope="module")
+def socket_server():
+    from repro.net.server import ServerThread
+
+    with ServerThread(shards=4) as address:
+        yield address
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_parity_cell_over_the_socket_transport(scheme, kind,
+                                               socket_server, request):
+    from repro.net.transport import AsyncioSocketTransport
+
+    host, port = socket_server
+    seed = 5000 + _seed(scheme, "gdocs", kind)
+    request.node.user_properties.append(("fault_seed", seed))
+    transport = AsyncioSocketTransport(host, port, service="gdocs",
+                                       tenant="parity")
+    try:
+        # unique doc per cell: unlike the in-process cells, the served
+        # backend outlives each session
+        plan, session, outcomes = _run_cell(
+            scheme, "gdocs", kind, seed, transport=transport,
+            doc=f"parity-{kind}-{scheme}-socket",
+        )
+        assert outcomes[-1].ok, (
+            f"recovery save failed over the socket (seed {seed}): "
+            f"{outcomes[-1].error}"
+        )
+        recovered = registry.decrypt_view(
+            "gdocs", session.server_view(), "parity-password", scheme
+        )
+        assert recovered == session.text, (
+            f"served store and client diverged under {kind}/{scheme} "
+            f"(seed {seed})"
+        )
+        assert _leaks(plan, session) == [], (
+            f"plaintext leaked over the socket (seed {seed})"
+        )
+    finally:
+        transport.close()
 
 
 @pytest.mark.parametrize("service", ("bespin", "buzzword"))

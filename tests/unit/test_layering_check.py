@@ -72,3 +72,45 @@ def test_protocol_surface_is_allowed(lint):
         "from repro.services.gdocs import protocol\n"
         "from repro.services.bespin import put_request\n",
     ) == []
+
+
+# -- the PR-7 transport rules --------------------------------------------
+
+
+def test_net_importing_the_trusted_layer_is_flagged(lint):
+    for banned in ("repro.client.resilient", "repro.extension.session",
+                   "repro.crypto.aes"):
+        problems = lint.check_source(
+            "repro.net.sneaky", f"import {banned}\n",
+        )
+        assert problems and "trust boundary" in problems[0], banned
+
+
+def test_net_may_use_services_and_encoding(lint):
+    assert lint.check_source(
+        "repro.net.server",
+        "from repro.services import registry\n"
+        "from repro.encoding.formenc import encode_form\n"
+        "from repro.obs import counter\n",
+    ) == []
+
+
+def test_trusted_importing_the_socket_server_is_flagged(lint):
+    for module in ("repro.client.sneaky", "repro.extension.sneaky"):
+        problems = lint.check_source(
+            module, "from repro.net.server import ReproServer\n",
+        )
+        assert problems and "Transport seam" in problems[0], module
+
+
+def test_client_importing_the_pool_is_flagged(lint):
+    problems = lint.check_source(
+        "repro.client.sneaky",
+        "from repro.net.pool import ConnectionPool\n",
+    )
+    assert problems and "raw connections" in problems[0]
+    # the extension layer may wire transports up (sessions do)
+    assert lint.check_source(
+        "repro.extension.stacks",
+        "from repro.net.transport import InProcessTransport\n",
+    ) == []

@@ -1,0 +1,175 @@
+"""The transport seam: frame codec, in-process equivalence, SharedLink.
+
+PR 7 split "how a request reaches the service" out of ``Channel`` into
+:class:`repro.net.transport.Transport`.  These tests pin the three
+load-bearing promises: the frame codec round-trips any request/response
+byte-for-byte, the in-process transport is indistinguishable from the
+old direct call (every fuzz/chaos baseline depends on it), and the new
+shared-bandwidth latency mode degrades to the classic independent
+model when the link is idle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.channel import Channel
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.latency import LatencyModel, SharedLink, SimClock
+from repro.net.transport import (
+    InProcessTransport,
+    Transport,
+    decode_request_frame,
+    decode_response_frame,
+    encode_request_frame,
+    encode_response_frame,
+)
+
+
+# -- the frame codec -----------------------------------------------------
+
+
+def test_request_frame_roundtrip():
+    request = HttpRequest(
+        method="POST",
+        url="https://docs.example.com/save?docID=a&b=1",
+        body="content=PE1-RECB&sid=s%201&weird=\n\t=&+",
+        headers={"Content-Type": "application/x-www-form-urlencoded",
+                 "X-Odd": "a=b&c d"},
+    )
+    fields = encode_request_frame(request, rid="42", service="gdocs",
+                                  tenant="t1")
+    assert fields["id"] == "42"
+    assert fields["svc"] == "gdocs"
+    assert fields["tn"] == "t1"
+    rebuilt = decode_request_frame(fields)
+    assert rebuilt.method == request.method
+    assert rebuilt.url == request.url
+    assert rebuilt.body == request.body
+    assert rebuilt.headers == request.headers
+
+
+def test_response_frame_roundtrip():
+    response = HttpResponse(status=409, body="rev=7&conflict=1",
+                            headers={"Retry-After": "2.5"})
+    fields = encode_response_frame(response, rid="9")
+    rebuilt = decode_response_frame(fields)
+    assert rebuilt.status == 409
+    assert rebuilt.body == response.body
+    assert rebuilt.headers == response.headers
+
+
+def test_request_frame_missing_field_raises():
+    fields = encode_request_frame(
+        HttpRequest(method="GET", url="http://x/", body="", headers={}),
+        rid="1", service="gdocs",
+    )
+    del fields["m"]
+    with pytest.raises(ProtocolError):
+        decode_request_frame(fields)
+
+
+def test_response_error_frame_raises():
+    with pytest.raises(ProtocolError, match="unknown service"):
+        decode_response_frame({"id": "1", "e": "unknown service 'nope'"})
+    with pytest.raises(ProtocolError, match="status"):
+        decode_response_frame({"id": "1", "b": "no status here"})
+
+
+# -- InProcessTransport --------------------------------------------------
+
+
+def test_in_process_transport_is_a_direct_call():
+    seen = []
+
+    def server(request):
+        seen.append(request)
+        return HttpResponse(status=200, body="ok", headers={})
+
+    transport = InProcessTransport(server)
+    assert isinstance(transport, Transport)
+    request = HttpRequest(method="GET", url="http://x/", body="",
+                          headers={})
+    response = transport(request)
+    # no serialization: the very same objects pass through
+    assert seen[0] is request
+    assert response.body == "ok"
+    assert transport.server is server
+
+
+def test_channel_wraps_bare_callables_and_passes_transports_through():
+    server = lambda request: HttpResponse(200, "ok", {})  # noqa: E731
+    assert isinstance(Channel(server).transport, InProcessTransport)
+    transport = InProcessTransport(server)
+    assert Channel(transport).transport is transport
+
+
+# -- SharedLink ----------------------------------------------------------
+
+
+def _quiet_model(**kwargs) -> LatencyModel:
+    """No RTT/server noise: latency is purely the transfer term."""
+    return LatencyModel(rtt_mean=0.0, rtt_jitter=0.0, server_mean=0.0,
+                        server_jitter=0.0, rng=random.Random(0), **kwargs)
+
+
+def test_idle_link_matches_the_private_model():
+    private = _quiet_model(bytes_per_second=1_000.0)
+    shared = _quiet_model(bytes_per_second=1_000.0,
+                          link=SharedLink(bytes_per_second=1_000.0))
+    # far-apart arrivals: the link is always idle, numbers identical
+    now = 0.0
+    for nbytes in (100, 250, 1_000):
+        lone = private.request_latency(nbytes, 0)
+        pooled = shared.request_latency(nbytes, 0, now=now)
+        assert pooled == pytest.approx(lone)
+        now += 100.0
+
+
+def test_busy_link_queues_transfers():
+    link = SharedLink(bytes_per_second=1_000.0)
+    # two 1000-byte transfers arriving together: the first takes 1 s,
+    # the second waits out the first and finishes at 2 s
+    assert link.reserve(0.0, 1_000) == pytest.approx(1.0)
+    assert link.reserve(0.0, 1_000) == pytest.approx(2.0)
+    # a later arrival only waits for the remainder
+    assert link.reserve(1.5, 500) == pytest.approx(1.0)  # 0.5 wait + 0.5
+
+
+def test_aggregate_throughput_is_capped():
+    link = SharedLink(bytes_per_second=10_000.0)
+    sessions = 50
+    total = sum(link.reserve(0.0, 1_000) for _ in range(sessions))
+    # 50 kB through a 10 kB/s link must occupy >= 5 link-seconds
+    assert link.busy_until == pytest.approx(5.0)
+    # the last session's latency reflects the whole queue, not a
+    # private link (the pre-PR-7 bug this mode fixes)
+    assert total > sessions * (1_000 / 10_000.0)
+
+
+def test_model_without_now_still_works_with_link():
+    model = _quiet_model(bytes_per_second=1_000.0,
+                         link=SharedLink(bytes_per_second=1_000.0))
+    # now defaults to 0.0: still well-defined, just always "at start"
+    assert model.request_latency(1_000, 0) == pytest.approx(1.0)
+
+
+def test_channel_feeds_its_clock_to_the_link():
+    link = SharedLink(bytes_per_second=1_000.0)
+    model = _quiet_model(bytes_per_second=1_000.0, link=link)
+    server = lambda request: HttpResponse(200, "", {})  # noqa: E731
+    channel = Channel(server, latency=model, clock=SimClock())
+    body = "x" * 100
+    request = HttpRequest(method="POST", url="http://x/", body=body,
+                          headers={})
+    first = channel.send(request)
+    assert first.status == 200
+    # the clock advanced past the transfer, so the next reservation
+    # arrives *after* the link freed up — no spurious queueing
+    wire = request.wire_bytes + first.wire_bytes
+    assert channel.clock.now() == pytest.approx(wire / 1_000.0)
+    channel.send(request)
+    assert channel.clock.now() == pytest.approx(2 * wire / 1_000.0)

@@ -15,13 +15,24 @@ in backticks:
   file).
 
 Anything else in backticks (shell lines, field names, prose) is
-ignored.  Run via ``make docs-check`` (part of ``make test``); exits
-non-zero listing every stale citation with its file and line.
+ignored.
+
+It also validates the **benchmark sidecars** at the repo root: any
+``BENCH_*.json`` present must declare a known ``schema`` string and
+carry that schema's required keys (for ``repro.bench.load/v1``, every
+measured cell must report ``sessions``, ``edits_per_sec``,
+``save_p50_ms`` and ``save_p99_ms`` — the numbers EXPERIMENTS.md
+quotes).  A missing sidecar is fine (they are build artifacts); a
+malformed one is drift.
+
+Run via ``make docs-check`` (part of ``make test``); exits non-zero
+listing every stale citation with its file and line.
 """
 
 from __future__ import annotations
 
 import importlib
+import json
 import pathlib
 import pkgutil
 import re
@@ -102,9 +113,68 @@ def _check_filepath(token: str) -> str | None:
     return None
 
 
+#: sidecar filename -> (expected schema, top-level required keys)
+SIDECARS = {
+    "BENCH_edit_throughput.json": (
+        "repro.bench.edit_throughput/v1", ("current",)),
+    "BENCH_faults.json": ("repro.bench.faults/v1", ("current", "seed")),
+    "BENCH_load.json": (
+        "repro.bench.load/v1", ("current", "seed", "fault_rate")),
+}
+
+#: every measured load cell must report these (the chart axes)
+LOAD_CELL_KEYS = ("sessions", "edits_per_sec", "save_p50_ms",
+                  "save_p99_ms", "latency_source")
+
+
+def _check_load_rows(payload: dict) -> list[str]:
+    """repro.bench.load/v1: every cell row carries the chart axes."""
+    errors = []
+    for block_name in ("baseline", "current"):
+        block = payload.get(block_name) or {}
+        for service, rows in block.items():
+            if not isinstance(rows, dict):
+                continue
+            for label, row in rows.items():
+                if not isinstance(row, dict):
+                    continue  # scalar entries like scaling_x_1000
+                missing = [k for k in LOAD_CELL_KEYS if k not in row]
+                if missing:
+                    errors.append(
+                        f"{block_name}.{service}.{label} lacks "
+                        f"{', '.join(missing)}")
+    return errors
+
+
+def check_sidecars() -> list[str]:
+    """Validate whichever BENCH_*.json sidecars exist at the repo root."""
+    problems = []
+    for name, (schema, required) in SIDECARS.items():
+        path = REPO / name
+        if not path.exists():
+            continue  # build artifact; absence is not drift
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            problems.append(f"{name}: not valid JSON ({exc})")
+            continue
+        if payload.get("schema") != schema:
+            problems.append(
+                f"{name}: schema is {payload.get('schema')!r}, "
+                f"expected {schema!r}")
+            continue
+        for key in required:
+            if key not in payload:
+                problems.append(f"{name}: missing required key {key!r}")
+        if schema == "repro.bench.load/v1":
+            problems.extend(f"{name}: {e}"
+                            for e in _check_load_rows(payload))
+    return problems
+
+
 def main() -> int:
     metrics, scopes = _load_registry()
-    problems: list[str] = []
+    problems: list[str] = list(check_sidecars())
     for doc in DOCS:
         if not doc.exists():
             problems.append(f"{doc.relative_to(REPO)}: file missing")

@@ -23,6 +23,16 @@ enforces the layering that ``docs/architecture.md`` documents:
 * **service code** (``repro.services.*``) may not import
   ``repro.client`` or ``repro.extension`` — providers are untrusted
   and know nothing of the mediation stack above them.
+* **transport/server code** (``repro.net.*``, PR 7) sits below the
+  trust boundary and sees only ciphertext: it may not import the
+  trusted layer (``repro.client``, ``repro.extension``) *or*
+  ``repro.crypto`` — a transport with key material in scope is a
+  transport one bug away from leaking it.
+* **trusted code reaches a server only through the Transport seam**:
+  ``repro.client.*`` / ``repro.extension.*`` may not import
+  ``repro.net.server`` (the socket server is provider territory), and
+  the client layer may not import ``repro.net.pool`` either — it holds
+  a ``Transport``, never raw connections.
 * as a belt-and-braces check, client/extension modules may not bind
   the server class names (``GDocsServer``, ``BespinServer``, ...) via
   ``from ... import`` even through a re-export.
@@ -56,6 +66,15 @@ SERVER_NAMES = frozenset({
 
 #: the one extension-layer module family allowed to build servers
 REGISTRY = "repro.services.registry"
+
+#: the socket server — untrusted territory, banned on the trusted side
+NET_SERVER = "repro.net.server"
+
+#: the raw connection machinery — clients hold a Transport, not sockets
+NET_POOL = "repro.net.pool"
+
+#: what transport/server code (repro.net.*) must never import
+NET_BANNED = ("repro.client", "repro.extension", "repro.crypto")
 
 
 def _module_name(path: pathlib.Path) -> str:
@@ -99,10 +118,23 @@ def check_source(module: str, source: str, where: str = "<source>"
     in_trusted = (module.startswith("repro.client")
                   or module.startswith("repro.extension"))
     in_services = module.startswith("repro.services")
+    in_net = module == "repro.net" or module.startswith("repro.net.")
 
     for lineno, imported, names in _imports(tree):
         spot = f"{where}:{lineno}"
         if in_trusted:
+            if _covers(imported, NET_SERVER):
+                problems.append(
+                    f"{spot}: {module} imports the socket server "
+                    f"({imported}) — trusted code reaches a server "
+                    f"only through the Transport seam"
+                )
+            if (_covers(imported, NET_POOL)
+                    and module.startswith("repro.client")):
+                problems.append(
+                    f"{spot}: {module} imports {NET_POOL} — clients "
+                    f"hold a Transport, never raw connections"
+                )
             for banned in SERVER_MODULES:
                 if _covers(imported, banned):
                     problems.append(
@@ -128,6 +160,14 @@ def check_source(module: str, source: str, where: str = "<source>"
                 f"layer ({imported}) — providers are untrusted and "
                 f"must not know the mediation stack"
             )
+        if in_net:
+            for banned in NET_BANNED:
+                if _covers(imported, banned):
+                    problems.append(
+                        f"{spot}: transport module {module} imports "
+                        f"{imported} — repro.net sits below the trust "
+                        f"boundary and must see only ciphertext"
+                    )
     return problems
 
 
