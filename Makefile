@@ -5,15 +5,17 @@ PYTHON ?= python3
 
 # differential-fuzzer budgets: FUZZ_ITERS bounds the CI run inside
 # `make test`; BURST_ITERS drives the burst profile (long keystroke
-# runs through the edit-coalescing differential); fuzz-long runs the
-# deep profile at FUZZ_LONG_ITERS.
+# runs through the edit-coalescing differential); COLLAB_ITERS drives
+# the N-writer (2-16 clients) collaboration profile; fuzz-long runs
+# the deep profile at FUZZ_LONG_ITERS.
 # COVERAGE_MIN is the line-coverage threshold `make coverage` enforces.
 FUZZ_ITERS ?= 2000
 BURST_ITERS ?= 400
+COLLAB_ITERS ?= 200
 FUZZ_LONG_ITERS ?= 20000
 COVERAGE_MIN ?= 80
 
-.PHONY: install test metrics-smoke docs-check layering-check fuzz fuzz-long mutation-smoke coverage bench bench-edits bench-faults bench-load bench-load-smoke figures examples all clean
+.PHONY: install test metrics-smoke docs-check layering-check fuzz fuzz-long mutation-smoke coverage bench bench-edits bench-faults bench-load bench-load-smoke bench-collab figures examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,6 +29,7 @@ layering-check:   ## enforce the client/extension vs services import layering
 fuzz:             ## seeded differential fuzzing (bounded CI budget) + oracle teeth check
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(FUZZ_ITERS)
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(BURST_ITERS) --profile burst
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(COLLAB_ITERS) --profile collab
 	$(PYTHON) tools/mutation_smoke.py
 
 fuzz-long:        ## the deep profile at full budget, plus the slow-marked tests
@@ -59,6 +62,9 @@ bench-load:       ## 100/1k/10k-session load sweep (socket + in-process) -> BENC
 
 bench-load-smoke: ## 16-session load-generator smoke (both transports, faults on)
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_load.py --smoke
+
+bench-collab:     ## 2/8/32/100-writer conflict-rate sweep (merge vs conflict) -> BENCH_collab.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_collab.py
 
 figures:          ## timings + qualitative shape assertions + tables
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/

@@ -282,6 +282,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server = ReproServer(
         host=args.host, port=args.port, shards=args.shards,
         service_time=args.service_time,
+        merge_concurrent=args.merge_concurrent,
     )
 
     async def _serve() -> None:
@@ -464,7 +465,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=int, default=2000,
                    help="number of seeded traces to run (default 2000)")
     p.add_argument("--profile", default="ci",
-                   choices=["ci", "quick", "engine", "burst", "deep"],
+                   choices=["ci", "quick", "engine", "burst", "deep",
+                            "collab"],
                    help="trace-shape profile (default ci)")
     p.add_argument("--mode", choices=["engine", "session", "concurrent"],
                    help="force one execution mode (default: mixed)")
@@ -496,6 +498,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--service-time", type=float, default=0.0,
                    help="simulated per-request server handling time in "
                         "seconds (non-blocking; default 0)")
+    p.add_argument("--merge-concurrent", action="store_true",
+                   help="OT-merge stale saves over the intervening "
+                        "history instead of answering conflict "
+                        "(backends with merges_stale_saves only)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("loadgen", help="drive N concurrent sessions "

@@ -65,6 +65,9 @@ _GIVEUPS = counter("client.retries.giveups")
 _BACKOFF = histogram("client.retries.backoff_seconds")
 _RESYNCS = counter("client.resyncs")
 _SAVE_FAILURES = counter("client.save_failures")
+#: merged acks whose patch was applied to the editor text directly
+#: (plaintext stacks; mediated stacks arrive with content instead)
+_MERGES_ADOPTED = counter("client.merges_adopted")
 
 
 @dataclass
@@ -331,13 +334,47 @@ class ResilientClient:
         self.editor.mark_synced()
 
     def _adopt_merge(self, ack: SaveAck) -> None:
+        """Adopt a merged save.
+
+        A mediating extension rewrites the merged Ack to carry the
+        merged *plaintext* (it already fast-forwarded its mirror over
+        the ciphertext patch), so the content branch resyncs as before.
+        On a plaintext stack the Ack instead carries the server's
+        ``mergePatch`` — a delta from our post-save document to the
+        merged one — which we apply locally: the hash check first
+        detects replayed merge Acks (the patch is already in; patch
+        application is not idempotent), then validates the patched
+        result before the editor adopts it.
+        """
         if ack.rev is not None:
             self._rev = ack.rev
         self._did_full_save = True
         if ack.content_from_server:
             self.editor.resync(ack.content_from_server)
-        else:
-            self.editor.mark_synced()
+            return
+        if ack.merge_patch:
+            if self.backend.ack_consistent(ack, self.editor.text):
+                self.editor.mark_synced()  # replayed merge Ack
+                return
+            merged: str | None
+            try:
+                merged = Delta.parse(ack.merge_patch).apply(self.editor.text)
+            except DeltaError:
+                merged = None
+            if merged is not None and \
+                    self.backend.ack_consistent(ack, merged) is not False:
+                _MERGES_ADOPTED.inc()
+                self.editor.resync(merged)
+                return
+            # The patch does not reproduce the server's merged state —
+            # re-assert the local text with a full save next round.
+            self._did_full_save = False
+            self.complaints.append(
+                "merge patch did not apply cleanly; scheduling a full "
+                "save"
+            )
+            return
+        self.editor.mark_synced()
 
     def _save_failed(self, kind: str, state: RetryState,
                      error: str) -> SaveOutcome:

@@ -26,10 +26,11 @@ from collections import OrderedDict
 
 from repro.core.delta import Delta
 from repro.core.transform import EncryptionEngine
-from repro.encoding.wire import looks_encrypted
+from repro.encoding.wire import RECORD_CHARS, looks_encrypted, split_header
 from repro.errors import (
     CiphertextFormatError,
     DecryptionError,
+    DeltaError,
     IntegrityError,
     PasswordError,
     ProtocolError,
@@ -51,6 +52,13 @@ _IDEM_REPLAYS = counter("extension.idem_replays")
 #: Acks whose contentFromServerHash disagreed with the mirror (stored
 #: ciphertext corrupted in flight or tampered at rest)
 _ACK_MISMATCHES = counter("extension.ack_hash_mismatches")
+#: merged Acks whose mergePatch was applied to the mirror — the stale
+#: client fast-forwarded to the merged document without a resync
+_MERGE_FOLLOWS = counter("extension.merge_follows")
+#: merged Acks the extension could not follow (stego framing, missing
+#: patch, misaligned patch, hash mismatch, undecryptable result) and
+#: downgraded to the paper's conflict behaviour
+_MERGE_DOWNGRADES = counter("extension.merge_downgrades")
 
 #: rewritten save requests remembered per extension (ring-capped)
 IDEM_REWRITE_CACHE_SIZE = 64
@@ -271,25 +279,118 @@ class GDocsExtension:
                     protocol.A_CONTENT: plain,
                     protocol.A_CONTENT_HASH: protocol.content_hash(plain),
                 })
+        if fields.get(protocol.A_MERGED) == "1":
+            followed = self._follow_merge(doc_id, fields)
+            if followed is not None:
+                return response.with_form(followed)
         neutral = {
             **fields,
             protocol.A_CONTENT: protocol.NEUTRAL_CONTENT,
             protocol.A_CONTENT_HASH: protocol.NEUTRAL_HASH,
         }
         if fields.get(protocol.A_MERGED) == "1":
-            # A merging server rebased our delta past concurrent edits.
-            # Without decrypt_acks we cannot resync the mirror from the
-            # Ack, and letting the client continue on a stale mirror
-            # would corrupt the stored ciphertext — downgrade to the
-            # paper's conflict behaviour (complain + full-save recovery).
+            # A merging server rebased our delta past concurrent edits
+            # but the patch could not be followed (no mirror, stego
+            # framing, misaligned or undecryptable result).  Letting
+            # the client continue on a stale mirror would corrupt the
+            # stored ciphertext — downgrade to the paper's conflict
+            # behaviour (complain + full-save recovery).
+            _MERGE_DOWNGRADES.inc()
             neutral[protocol.A_MERGED] = "0"
             neutral[protocol.A_CONFLICT] = "1"
+            neutral[protocol.A_MERGE_PATCH] = ""
         if divergent:
             # The server's stored bytes are not what we believe we
             # stored (corrupted in flight, tampered at rest).  Turn the
             # silent divergence into a conflict so the client resyncs.
             neutral[protocol.A_CONFLICT] = "1"
         return response.with_form(neutral)
+
+    def _follow_merge(
+        self, doc_id: str, fields: dict[str, str]
+    ) -> dict[str, str] | None:
+        """Fast-forward the mirror over a merged Ack's ``mergePatch``.
+
+        The merging server rebased our cdelta past concurrent edits and
+        sent back the mirror-image patch — a cdelta from *our* post-save
+        wire to the merged wire.  Apply it to the mirror, verify the
+        result against the Ack's content hash, and decrypt it so the
+        oblivious client resyncs its editor to the merged plaintext: the
+        whole merge costs zero extra round-trips and the server still
+        only ever sees ciphertext.
+
+        Returns the rewritten Ack fields, or None when following is
+        unsafe — stego framing (the patch is in stego-wire coordinates),
+        no mirror yet, a patch off the record grid, a hash mismatch
+        (our mirror disagrees with what the server stored), or a patched
+        wire that fails decryption — and the caller downgrades the Ack
+        to the conflict path.
+        """
+        if self._stego:
+            return None
+        engine = self._engines.get(doc_id)
+        mirror = engine.mirror if engine is not None else None
+        if mirror is None:
+            return None
+        reported = fields.get(protocol.A_CONTENT_HASH, "")
+        if not reported or reported == protocol.NEUTRAL_HASH:
+            return None
+        wire = mirror.wire()
+        if protocol.content_hash(wire) == reported:
+            # A replayed/duplicated merge Ack — the patch is already in
+            # (patch application is not idempotent, so never re-apply).
+            patched = wire
+        else:
+            patched = self._apply_merge_patch(wire, fields)
+            if patched is None:
+                return None
+            if protocol.content_hash(patched) != reported:
+                self.warnings.append(
+                    f"{doc_id}: merge patch result disagrees with the "
+                    "server's content hash (mirror stale?)"
+                )
+                return None
+        plain = self._try_decrypt(doc_id, patched)
+        if plain is None:
+            return None
+        _MERGE_FOLLOWS.inc()
+        return {
+            **fields,
+            protocol.A_CONTENT: plain,
+            protocol.A_CONTENT_HASH: protocol.content_hash(plain),
+            protocol.A_MERGE_PATCH: "",
+        }
+
+    def _apply_merge_patch(
+        self, wire: str, fields: dict[str, str]
+    ) -> str | None:
+        """Parse, grid-check, and apply the Ack's patch to ``wire``."""
+        from repro.services import ot
+
+        patch_text = fields.get(protocol.A_MERGE_PATCH, "")
+        if not patch_text:
+            return None
+        try:
+            patch = Delta.parse(patch_text)
+        except DeltaError:
+            return None
+        if self._scheme == "recb":
+            # Honest rECB cdeltas only splice whole records, and OT
+            # preserves that — a patch off the record grid cannot be a
+            # merge of honest cdeltas, so refuse before it touches the
+            # mirror (rpc deltas also edit the header's version counter,
+            # so their alignment is checked by decryption instead).
+            try:
+                header, _ = split_header(wire)
+            except CiphertextFormatError:
+                return None
+            if not ot.grid_aligned(patch, header.wire_length,
+                                   RECORD_CHARS):
+                return None
+        try:
+            return patch.apply(wire)
+        except DeltaError:
+            return None
 
     def _ack_diverges(self, doc_id: str, fields: dict[str, str]) -> bool:
         """Does the Ack's content hash disagree with the mirror?

@@ -275,6 +275,10 @@ class Profile:
     rate_range: tuple = (0.10, 0.40)
     save_prob: float = 0.35
     block_chars_choices: tuple = (8, 8, 8, 4, 1)
+    #: concurrent traces draw their writer count from [2, max_clients];
+    #: the default keeps the draw out of the rng stream entirely so
+    #: every pre-existing profile's traces stay byte-identical
+    max_clients: int = 2
 
 
 PROFILES = {
@@ -297,6 +301,14 @@ PROFILES = {
         name="deep", mode_weights=(0.45, 0.30, 0.25), max_init=600,
         max_ops=32, max_insert=64, max_delete=160, fault_prob=0.8,
         max_fault_specs=3, rate_range=(0.10, 0.50),
+    ),
+    # the N-writer collaboration profile: every trace is concurrent,
+    # 2–16 writers on one document, moderate fault pressure — the
+    # many-writer merge path under the same plaintext-oracle judge
+    "collab": Profile(
+        name="collab", mode_weights=(0.0, 0.0, 1.0), max_ops=20,
+        max_insert=24, fault_prob=0.4, max_fault_specs=2,
+        rate_range=(0.05, 0.25), max_clients=16,
     ),
 }
 
@@ -384,7 +396,14 @@ def generate_trace(
     if service is None:
         service = (rng.choice(_SESSION_SERVICES)
                    if mode == "session" else "gdocs")
-    clients = 2 if mode == "concurrent" else 1
+    if mode != "concurrent":
+        clients = 1
+    elif prof.max_clients > 2:
+        clients = rng.randint(2, prof.max_clients)
+    else:
+        # no rng draw: keeps pre-existing profiles' streams (and their
+        # corpus replay digests) byte-identical
+        clients = 2
 
     init = gen_text(rng, rng.choice((0, 1, prof.max_init // 8,
                                      prof.max_init)))

@@ -340,19 +340,23 @@ def _run_concurrent(trace: Trace) -> str:
     merging = trace.scheme == "recb"
     server = GDocsServer(merge_concurrent=merging)
     plan = _plan_from_dict(trace.faults)
+    n = max(2, trace.clients)
     # faults ride on client 0's channel only: one flaky link is enough
     # chaos, and keeps held-request replay within a single channel
-    one = _session(trace, server=server, seed_salt=0, faults=plan,
-                   decrypt_acks=merging)
-    two = _session(trace, server=server, seed_salt=7,
-                   decrypt_acks=merging)
-    sessions = (one, two)
+    sessions = tuple(
+        _session(trace, server=server, seed_salt=7 * i,
+                 faults=plan if i == 0 else None,
+                 decrypt_acks=merging)
+        for i in range(n)
+    )
+    one = sessions[0]
 
     one.open()
     one.type_text(0, SENTINEL + " " + trace.init)
     one.save()
-    two.open()
-    two.save()
+    for other in sessions[1:]:
+        other.open()
+        other.save()
 
     for step, op in enumerate(trace.ops):
         session = sessions[op[-1] % len(sessions)]
@@ -365,12 +369,15 @@ def _run_concurrent(trace: Trace) -> str:
     if plan is not None:
         plan.quiesce()
 
-    # drain: alternate saves until both sessions are quiescent (noop)
-    for _ in range(_DRAIN_ROUNDS):
-        o1, o2 = one.save(), two.save()
-        if (o1.ok and o2.ok and o1.kind == "noop" and o2.kind == "noop"):
+    # drain: round-robin saves until every session is quiescent (noop).
+    # A conflict-mode round lands at most one writer, so the budget
+    # grows with the number of extra writers.
+    rounds = _DRAIN_ROUNDS + 2 * (n - 2)
+    for _ in range(rounds):
+        outcomes = [s.save() for s in sessions]
+        if all(o.ok and o.kind == "noop" for o in outcomes):
             break
-        if any(o.error and "http 413" in o.error for o in (o1, o2)):
+        if any(o.error and "http 413" in o.error for o in outcomes):
             # A stable quota refusal is the contract's other legal
             # terminal state: a typed SaveOutcome, not convergence.
             # (Reachable for real: a save corrupted in flight leaves
@@ -378,26 +385,27 @@ def _run_concurrent(trace: Trace) -> str:
             # repair sees raw ciphertext — refusing to forge plaintext
             # is the extension's job — and edits typed into that view
             # re-encrypt ciphertext, exploding past the server quota.)
-            check_no_leak(_leak_blobs(plan, one, two), SENTINEL)
+            check_no_leak(_leak_blobs(plan, *sessions), SENTINEL)
             return "quota-refused\n--\n" + one.server_view()
     else:
+        last = " ".join(f"{o.kind}/{o.ok}" for o in outcomes)
         raise InvariantViolation(Violation(
             "convergence", -1,
-            f"drain did not quiesce in {_DRAIN_ROUNDS} rounds "
-            f"(last: {o1.kind}/{o1.ok} {o2.kind}/{o2.ok})"))
+            f"drain did not quiesce in {rounds} rounds "
+            f"(last: {last})"))
 
-    # refresh both editors from the server and require agreement
-    text_one = one.open()
-    text_two = two.open()
-    check_equal("convergence", text_one, text_two, -1,
-                "client texts after drain + re-open")
+    # refresh every editor from the server and require agreement
+    texts = [s.open() for s in sessions]
+    for i, text in enumerate(texts[1:], start=1):
+        check_equal("convergence", texts[0], text, -1,
+                    "client texts after drain + re-open")
     recovered = EncryptionEngine(
         password=_PASSWORD, scheme=trace.scheme
     ).decrypt(one.server_view())
-    check_equal("convergence", recovered, text_one, -1,
+    check_equal("convergence", recovered, texts[0], -1,
                 "decrypt(server) vs refreshed clients")
-    check_no_leak(_leak_blobs(plan, one, two), SENTINEL)
-    return one.server_view() + "\n--\n" + text_one
+    check_no_leak(_leak_blobs(plan, *sessions), SENTINEL)
+    return one.server_view() + "\n--\n" + texts[0]
 
 
 _MODES = {

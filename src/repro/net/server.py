@@ -79,13 +79,17 @@ class ReproServer:
     """
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
-                 shards: int = 4, service_time: float = 0.0):
+                 shards: int = 4, service_time: float = 0.0,
+                 merge_concurrent: bool = False):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.host = host
         self.port = port
         self.shards = shards
         self.service_time = service_time
+        #: hosted backends that support it run the server-side OT merge
+        #: path for stale saves (repro.services.ot)
+        self.merge_concurrent = merge_concurrent
         self._lock = threading.Lock()
         # (service, tenant, shard) -> backend instance
         self._instances: dict[tuple[str, str, int], object] = {}
@@ -110,7 +114,10 @@ class ReproServer:
         with self._lock:
             inst = self._instances.get(key)
             if inst is None:
-                inst = registry.make_server(service)
+                merging = self.merge_concurrent and registry.backend_for(
+                    service).capabilities.merges_stale_saves
+                inst = registry.make_server(service,
+                                            merge_concurrent=merging)
                 self._instances[key] = inst
                 _INSTANCES.add(1)
             return inst
@@ -280,9 +287,11 @@ class ServerThread:
     """
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
-                 shards: int = 4, service_time: float = 0.0):
+                 shards: int = 4, service_time: float = 0.0,
+                 merge_concurrent: bool = False):
         self.server = ReproServer(
-            host=host, port=port, shards=shards, service_time=service_time
+            host=host, port=port, shards=shards, service_time=service_time,
+            merge_concurrent=merge_concurrent,
         )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None

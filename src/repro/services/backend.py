@@ -82,6 +82,13 @@ class BackendCapabilities:
     sessions: bool = False
     #: the wire protocol accepts idempotency keys on saves
     idempotency_keys: bool = False
+    #: a stale-revision save can come back *merged* — the server OT-
+    #: rebases it over the intervening history (repro.services.ot) and
+    #: acks with a ``mergePatch`` instead of a conflict.  Requires
+    #: incremental updates and revisions; the whole-file providers
+    #: (Bespin, Buzzword) have no delta language to merge in, so their
+    #: protocol cannot express it.
+    merges_stale_saves: bool = False
 
 
 @dataclass(frozen=True)
@@ -116,6 +123,9 @@ class SaveAck:
     merged: bool = False
     content_from_server: str = ""
     content_from_server_hash: str = ""
+    #: on merged acks: the delta that carries the saver's post-save
+    #: document to the merged revision (empty when not merged)
+    merge_patch: str = ""
 
 
 #: classification labels a replication facade dispatches on
@@ -248,6 +258,7 @@ class GDocsBackend:
         revisioned=True,
         sessions=True,
         idempotency_keys=True,
+        merges_stale_saves=True,
     )
 
     # -- builders --------------------------------------------------------
@@ -310,6 +321,7 @@ class GDocsBackend:
             merged=ack.merged,
             content_from_server=ack.content_from_server,
             content_from_server_hash=ack.content_from_server_hash,
+            merge_patch=ack.merge_patch,
         )
 
     def ack_consistent(self, ack: SaveAck,

@@ -32,7 +32,7 @@ __all__ = [
     "DOC_PATH", "HOST",
     "F_DOC_CONTENTS", "F_DELTA", "F_SID", "F_REV", "F_ACTION", "F_IDEM",
     "A_STATUS", "A_REV", "A_CONTENT", "A_CONTENT_HASH", "A_CONFLICT",
-    "A_MERGED", "H_RETRY_AFTER",
+    "A_MERGED", "A_MERGE_PATCH", "H_RETRY_AFTER",
     "NEUTRAL_CONTENT", "NEUTRAL_HASH",
     "content_hash", "Ack",
     "open_request", "full_save_request", "delta_save_request",
@@ -63,6 +63,9 @@ A_CONTENT = "contentFromServer"
 A_CONTENT_HASH = "contentFromServerHash"
 A_CONFLICT = "conflict"
 A_MERGED = "merged"
+#: cdelta (wire-string delta) that carries the *saver's* post-save
+#: document to the merged revision — only present on merged acks
+A_MERGE_PATCH = "mergePatch"
 
 #: what the extension substitutes into Acks (SIV-A: empty string / 0)
 NEUTRAL_CONTENT = ""
@@ -84,6 +87,7 @@ class Ack:
     content_from_server_hash: str
     conflict: bool
     merged: bool = False
+    merge_patch: str = ""
 
     @classmethod
     def from_response(cls, response: HttpResponse) -> "Ack":
@@ -96,6 +100,7 @@ class Ack:
                 content_from_server_hash=fields[A_CONTENT_HASH],
                 conflict=fields.get(A_CONFLICT, "0") == "1",
                 merged=fields.get(A_MERGED, "0") == "1",
+                merge_patch=fields.get(A_MERGE_PATCH, ""),
             )
         except KeyError as exc:
             raise ProtocolError(f"Ack missing field {exc}") from None

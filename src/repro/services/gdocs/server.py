@@ -258,59 +258,72 @@ class GDocsServer:
 
     def _merge_stale_delta(self, doc_id: str, base_rev: int,
                            form: dict[str, str]) -> HttpResponse | None:
-        """Transform a stale delta past the concurrent updates and apply
+        """Rebase a stale delta over the concurrent updates and apply
         it (what the real server's collaboration machinery did).
 
-        Returns None when merging is impossible (a full save intervened
-        or the transformed delta no longer fits), in which case the
-        caller falls back to the conflict path.
+        The OT walk lives in :mod:`repro.services.ot`: it yields both
+        the ``rebased`` delta (applied to the head here) and the
+        mirror-image ``patch``, which the Ack carries back so the stale
+        client can fast-forward its own state to the merged document —
+        no content echo, no resync round-trip.
+
+        Returns None when merging is impossible (a full save intervened,
+        history was compacted, or the transformed delta no longer fits),
+        in which case the caller falls back to the conflict path.
         """
         from repro.core.delta import Delta
-        from repro.core.ot import compose, transform
         from repro.errors import DeltaError
+        from repro.services import ot
 
         doc = self.store.get(doc_id)
         concurrent = doc.deltas_since(base_rev)
         if concurrent is None:
+            ot.reject()
             return None
         try:
             incoming = Delta.parse(form[protocol.F_DELTA])
-            against = Delta(())
-            for delta_text in concurrent:
-                against = compose(against, Delta.parse(delta_text))
-            rebased = transform(incoming, against, priority="right")
+            merge = ot.rebase(incoming, concurrent)
             if self.reject_encrypted:
-                refused = self._censor(rebased.apply(doc.content))
+                refused = self._censor(merge.rebased.apply(doc.content))
                 if refused is not None:
                     return refused
-            doc = self.store.apply_delta(doc_id, rebased.serialize())
+            doc = self.store.apply_delta(doc_id, merge.rebased.serialize())
         except DeltaError:
+            ot.reject()
             return None
         self.merges_performed += 1
         _MERGES.inc()
         _STORED_BYTES.set(self._stored_bytes())
-        # Echo the merged content so the stale client can resync.
-        return self._ack(doc, conflict=False, echo_content=True,
-                         merged=True)
+        # No content echo: the patch carries the saver to the merged
+        # state, and the hash lets it verify the result.
+        return self._ack(doc, conflict=False, echo_content=False,
+                         merged=True,
+                         merge_patch=merge.patch.serialize())
 
     def _ack(self, doc: StoredDocument, conflict: bool,
-             echo_content: bool = True, merged: bool = False) -> HttpResponse:
+             echo_content: bool = True, merged: bool = False,
+             merge_patch: str | None = None) -> HttpResponse:
         """Acknowledge an update with contentFromServer(Hash).
 
         The full content is echoed on full saves and on conflicts (the
         client needs it to resync); a routine delta Ack carries only the
         hash — echoing a multi-hundred-kB ciphertext on every autosave
         would make the macro-benchmark measure transfer, not the scheme
-        (see DESIGN.md, substitution table).
+        (see DESIGN.md, substitution table).  A merged Ack likewise
+        skips the echo and instead carries the OT ``mergePatch`` (the
+        delta from the saver's post-save document to the merged one).
         """
-        return HttpResponse(200, encode_form({
+        fields = {
             protocol.A_STATUS: "ok",
             protocol.A_REV: str(doc.revision),
             protocol.A_CONTENT: doc.content if (echo_content or conflict) else "",
             protocol.A_CONTENT_HASH: protocol.content_hash(doc.content),
             protocol.A_CONFLICT: "1" if conflict else "0",
             protocol.A_MERGED: "1" if merged else "0",
-        }))
+        }
+        if merged:
+            fields[protocol.A_MERGE_PATCH] = merge_patch or ""
+        return HttpResponse(200, encode_form(fields))
 
     def _fetch(self, doc_id: str) -> HttpResponse:
         doc = self.store.get(doc_id)

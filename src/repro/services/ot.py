@@ -1,0 +1,153 @@
+"""Server-side operational transformation over cdelta quanta.
+
+PR 3 taught the *client* to rebase its pending edit over fetched
+history after a conflict; this module moves the same algebra to the
+**untrusted** side so the server can merge a stale-revision save
+against the intervening history instead of answering conflict.  The
+server never learns what the deltas mean — a cdelta is just a delta
+over the wire string, and transform/compose are plaintext-blind
+coordinate arithmetic — so merging costs the provider nothing in
+trust (the layering lint pins that this module imports no client,
+extension, or crypto code).
+
+The merge itself is the working-state rebase: walk the intervening
+history bottom-up, carrying the incoming delta forward over each
+committed delta while accumulating the mirror-image *patch* that
+carries the saver's own state forward over the history:
+
+    rebased = incoming;  patch = identity
+    for committed in history:
+        patch   = compose(patch, transform(committed, rebased, "left"))
+        rebased = transform(rebased, committed, "right")
+
+TP1 gives the loop invariant ``base∘incoming∘patch ==
+base∘history[:i]∘rebased`` at every step, so after the walk
+
+* ``rebased`` applies cleanly to the server's head (that is what the
+  store commits), and
+* ``patch`` applies cleanly to the *saver's* post-save state — the
+  trusted side uses it to fast-forward its ciphertext mirror to the
+  merged document without a fetch round-trip.
+
+History wins insert-position ties (``priority="right"`` for the
+incoming delta), matching the first-writer-wins rule the conflict
+path's client-side rebase already used.
+
+Quanta: rECB cdeltas only ever splice whole fixed-width records after
+the header, so every genuine cdelta is *grid-aligned* — all its edit
+positions and extents are multiples of the record width, offset by the
+header length.  Transform and compose preserve that alignment (edits
+only shift by whole-record amounts and deletes only split at other
+edits' grid boundaries), which makes :func:`grid_aligned` a cheap
+client-side sanity gate before a merge patch is let anywhere near the
+mirror.  ``tests/property/test_prop_ot.py`` pins both the rebase/patch
+duality and alignment preservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.delta import Delta, Insert, Retain
+from repro.core.ot import compose as _compose
+from repro.core.ot import transform as _transform
+from repro.obs import counter, histogram
+
+__all__ = ["MergeResult", "transform", "compose", "rebase",
+           "grid_aligned"]
+
+_TRANSFORMS = counter("services.ot.transforms")
+_COMPOSES = counter("services.ot.composes")
+_MERGES = counter("services.ot.merges")
+_REJECTS = counter("services.ot.rejects")
+_DEPTH = histogram("services.ot.history_depth")
+
+
+def transform(a: Delta, b: Delta, priority: str) -> Delta:
+    """Counted :func:`repro.core.ot.transform` (a' such that applying
+    ``b`` then ``a'`` equals applying ``a`` then ``transform(b, a)``)."""
+    _TRANSFORMS.inc()
+    return _transform(a, b, priority)
+
+
+def compose(first: Delta, second: Delta) -> Delta:
+    """Counted :func:`repro.core.ot.compose` (one delta with the effect
+    of ``first`` then ``second``)."""
+    _COMPOSES.inc()
+    return _compose(first, second)
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of rebasing one stale save over committed history.
+
+    ``rebased`` applies to the server's current head; ``patch`` applies
+    to the saver's post-save document and produces the same merged
+    text.  ``depth`` is how many committed deltas were walked.
+    """
+
+    rebased: Delta
+    patch: Delta
+    depth: int
+
+
+def rebase(incoming: Delta,
+           history: Iterable[Delta | str]) -> MergeResult:
+    """Rebase ``incoming`` (built against a stale revision) over the
+    committed ``history`` deltas that followed that revision.
+
+    ``history`` entries may be :class:`Delta` objects or wire strings
+    (the store's ops log keeps wire strings).  Raises whatever the
+    underlying parse/transform raises on malformed input — callers
+    (the merging server) map that to a conflict answer and count it
+    under ``services.ot.rejects`` via :func:`reject`.
+    """
+    rebased = incoming
+    patch = Delta(())
+    depth = 0
+    for committed in history:
+        if isinstance(committed, str):
+            committed = Delta.parse(committed)
+        patch = compose(patch, transform(committed, rebased, "left"))
+        rebased = transform(rebased, committed, "right")
+        depth += 1
+    _MERGES.inc()
+    _DEPTH.observe(depth)
+    return MergeResult(rebased=rebased, patch=patch, depth=depth)
+
+
+def reject() -> None:
+    """Count a merge attempt that had to fall back to conflict."""
+    _REJECTS.inc()
+
+
+def grid_aligned(delta: Delta, offset: int, step: int) -> bool:
+    """Does every edit in ``delta`` respect the record grid?
+
+    The grid is the set of positions ``offset + k*step`` (``k >= 0``)
+    — for rECB, ``offset`` is the header wire length and ``step`` the
+    encoded record width.  An aligned delta only inserts/deletes whole
+    records at record boundaries at or after the header; genuine rECB
+    cdeltas are aligned by construction and transform/compose keep
+    them that way, so a merge patch that is *not* aligned cannot have
+    come from merging honest cdeltas.
+    """
+    if step <= 0:
+        raise ValueError(f"grid step must be positive, got {step}")
+
+    def on_grid(pos: int) -> bool:
+        return pos >= offset and (pos - offset) % step == 0
+
+    cursor = 0
+    for op in delta.ops:
+        if isinstance(op, Retain):
+            cursor += op.count
+        elif isinstance(op, Insert):
+            if len(op.text) % step or not on_grid(cursor):
+                return False
+        else:  # Delete
+            if op.count % step or not on_grid(cursor):
+                return False
+            cursor += op.count
+    return True

@@ -89,17 +89,32 @@ def backend_for(service: str) -> ServiceBackend:
     return _BACKENDS[service]
 
 
-def make_server(service: str) -> Server:
-    """A fresh simulated server (or replicated facade) for ``service``."""
+def make_server(service: str, merge_concurrent: bool = False) -> Server:
+    """A fresh simulated server (or replicated facade) for ``service``.
+
+    ``merge_concurrent`` turns on the server-side OT merge path
+    (:mod:`repro.services.ot`): stale delta saves are rebased over the
+    intervening history instead of rejected as conflicts.  Only
+    meaningful on backends whose protocol can express it
+    (``capabilities.merges_stale_saves``); asking for it elsewhere is a
+    caller bug, not a silent downgrade.
+    """
     _check(service)
+    if merge_concurrent and \
+            not _BACKENDS[service].capabilities.merges_stale_saves:
+        raise ValueError(
+            f"service {service!r} cannot merge stale saves (whole-file "
+            "protocol has no delta language to transform)"
+        )
     if service == "gdocs":
-        return GDocsServer()
+        return GDocsServer(merge_concurrent=merge_concurrent)
     if service == "bespin":
         return BespinServer()
     if service == "buzzword":
         return BuzzwordServer()
     return ReplicatedService(
-        [GDocsServer() for _ in range(REPLICA_COUNT)], service=GDOCS
+        [GDocsServer(merge_concurrent=merge_concurrent)
+         for _ in range(REPLICA_COUNT)], service=GDOCS
     )
 
 

@@ -191,6 +191,28 @@ def test_parity_cell_over_the_socket_transport(scheme, kind,
         transport.close()
 
 
+# -- the N-writer merging collaboration cell (PR 8) ----------------------
+#
+# The parity cells above are one writer vs a hostile network; this cell
+# is the many-writer version of the same two promises: 32 faulted
+# sessions hammer ONE gdocs document with the server-side OT merge
+# path on, and afterwards every writer sees the same text, the stored
+# bytes decrypt to it, and nothing on the wire ever held the sentinel.
+
+
+def test_many_writer_merge_cell_converges_under_faults():
+    from repro.bench.collab import run_collab
+
+    cell = run_collab(writers=32, rounds=2, service="gdocs", merge=True,
+                      fault_rate=0.05)
+    assert cell.converged, "32 faulted writers did not converge"
+    assert cell.leak_clean, "sentinel sighted on the wire"
+    assert cell.merges > 0, "the merge path never fired"
+    # the drain budget is linear in the writer count; blowing it means
+    # merging regressed to the one-landing-per-round conflict crawl
+    assert cell.drain_rounds <= 4 + 2 * 32
+
+
 @pytest.mark.parametrize("service", ("bespin", "buzzword"))
 def test_whole_file_save_failure_is_typed(service):
     """Regression (the satellite bugfix): a Bespin/Buzzword save that

@@ -6,14 +6,16 @@ The paper's conflict complaints stem from a server we modelled as
 ``GDocsServer(merge_concurrent=True)``:
 
 * plaintext clients collaborate seamlessly (control group);
-* **encrypted collaboration works for rECB** when the extension can
-  resync its mirror from Acks (``decrypt_acks=True``) — the server
-  merges record-aligned ciphertext deltas it cannot read;
+* **encrypted collaboration works for rECB**: the merged Ack carries a
+  ciphertext ``mergePatch`` the extension applies to its mirror — the
+  server merges record-aligned ciphertext deltas it cannot read, and
+  the stale client fast-forwards without a resync round-trip;
 * RPC's document-wide checksum is structurally incompatible with blind
   merging: the result fails integrity verification, which the reader's
   extension catches (it never shows corrupted plaintext);
-* the paper-faithful extension (no decrypt_acks) downgrades a merged
-  Ack to the conflict path, keeping its mirror safe.
+* when the extension *cannot* follow the patch (stego framing, hash
+  mismatch), it downgrades the merged Ack to the conflict path,
+  keeping its mirror safe.
 """
 
 import pytest
@@ -175,11 +177,12 @@ class TestRpcIncompatibleWithBlindMerge:
         assert extension.warnings
 
 
-class TestFaithfulExtensionDegradesSafely:
-    def test_merged_ack_downgraded_to_conflict(self):
-        """Without decrypt_acks the extension cannot follow a merge;
-        it must force the client into full-save recovery rather than
-        let the mirror drift."""
+class TestMergePatchFollowing:
+    def test_merged_ack_followed_without_decrypt_acks(self):
+        """The merged Ack carries a ciphertext ``mergePatch``; the
+        extension fast-forwards its mirror over it (no content echo,
+        no resync round-trip) and hands the client the merged
+        plaintext — even the paper-faithful extension collaborates."""
         server = GDocsServer(merge_concurrent=True)
         alice, _ = encrypted_user(server, 10, decrypt_acks=False)
         bob, _ = encrypted_user(server, 11, decrypt_acks=False)
@@ -192,9 +195,42 @@ class TestFaithfulExtensionDegradesSafely:
         bob.save()
         alice.type_text(0, "ALICE. ")
         outcome = alice.save()
+        assert outcome.ok and not outcome.conflict
+        assert outcome.ack.merged
+        assert alice.editor.text == "ALICE. " + BASE + "BOB."
+        reader, _ = encrypted_user(server, 12, decrypt_acks=False)
+        assert reader.open() == "ALICE. " + BASE + "BOB."
+
+    def test_merged_ack_downgraded_to_conflict_under_stego(self):
+        """Under steganographic framing the patch coordinates are over
+        the stego wire, not the mirror — the extension must refuse to
+        follow and downgrade to the paper's conflict behaviour rather
+        than let the mirror drift."""
+        server = GDocsServer(merge_concurrent=True)
+
+        def stego_user(seed):
+            channel = Channel(server)
+            extension = GDocsExtension(
+                PasswordVault({"doc": "pw"}),
+                rng=DeterministicRandomSource(seed), stego=True,
+            )
+            channel.set_mediator(extension)
+            return GDocsClient(channel, "doc"), extension
+
+        alice, _ = stego_user(20)
+        bob, _ = stego_user(21)
+        alice.open()
+        alice.type_text(0, BASE)
+        alice.save()
+        bob.open()
+        bob.save()
+        bob.type_text(len(BASE), "BOB.")
+        bob.save()
+        alice.type_text(0, "ALICE. ")
+        outcome = alice.save()
         assert outcome.conflict  # downgraded by the extension
         alice.save()  # recovery full save
-        reader, _ = encrypted_user(server, 12, decrypt_acks=False)
+        reader, _ = stego_user(22)
         text = reader.open()
         assert text.startswith("ALICE. ")  # consistent, bob's edit lost
 

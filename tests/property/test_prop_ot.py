@@ -1,11 +1,14 @@
-"""Property tests for operational transformation: TP1 convergence and
-compose correctness over arbitrary concurrent deltas."""
+"""Property tests for operational transformation: TP1 convergence,
+compose correctness, the server-side rebase/patch duality the merging
+server relies on (PR 8), and grid-alignment preservation over cdelta
+quanta."""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.delta import Delete, Delta, Insert, Retain
 from repro.core.ot import compose, transform
+from repro.services import ot
 
 documents = st.text(alphabet="abcde ", max_size=40)
 
@@ -90,3 +93,126 @@ class TestCompose:
         left = compose(compose(d1, d2), d3)
         right = compose(d1, compose(d2, d3))
         assert left.apply(doc) == right.apply(doc)
+
+
+# -- the PR-8 server-side merge path -------------------------------------
+
+
+@st.composite
+def rebase_case(draw):
+    """A stale save plus the history that landed after its base rev."""
+    doc = draw(documents)
+    incoming = draw(delta_for_length(len(doc)))
+    history, head = [], doc
+    for _ in range(draw(st.integers(0, 4))):
+        committed = draw(delta_for_length(len(head)))
+        history.append(committed)
+        head = committed.apply(head)
+    return doc, incoming, history, head
+
+
+class TestRebaseDuality:
+    """``rebase`` hands the server a delta for *its* head and the saver
+    a patch for *their* text; both must land on the same document."""
+
+    @settings(max_examples=400)
+    @given(rebase_case())
+    def test_patch_and_rebased_agree(self, case):
+        doc, incoming, history, head = case
+        merge = ot.rebase(incoming, history)
+        assert merge.depth == len(history)
+        assert (merge.patch.apply(incoming.apply(doc))
+                == merge.rebased.apply(head))
+
+    @settings(max_examples=200)
+    @given(rebase_case())
+    def test_wire_string_history_matches_objects(self, case):
+        doc, incoming, history, head = case
+        by_wire = ot.rebase(incoming, [d.serialize() for d in history])
+        by_obj = ot.rebase(incoming, history)
+        assert by_wire.rebased.serialize() == by_obj.rebased.serialize()
+        assert by_wire.patch.serialize() == by_obj.patch.serialize()
+
+
+# -- grid alignment over cdelta quanta -----------------------------------
+
+OFFSET, STEP = 6, 4
+
+
+@st.composite
+def grid_delta(draw, records):
+    """A delta that only splices whole ``STEP``-wide records after a
+    ``OFFSET``-char header — the shape of every genuine rECB cdelta."""
+    ops = [Retain(OFFSET)]
+    remaining = records
+    while remaining > 0:
+        kind = draw(st.sampled_from(["retain", "insert", "delete"]))
+        span = draw(st.integers(1, remaining))
+        if kind == "insert":
+            ops.append(Insert("R" * (span * STEP)))
+        elif kind == "delete":
+            ops.append(Delete(span * STEP))
+            remaining -= span
+        else:
+            ops.append(Retain(span * STEP))
+            remaining -= span
+    if draw(st.booleans()):
+        ops.append(Insert("T" * (draw(st.integers(1, 3)) * STEP)))
+    return Delta(ops)
+
+
+@st.composite
+def concurrent_grid_pair(draw):
+    records = draw(st.integers(0, 6))
+    doc = "H" * OFFSET + "r" * (records * STEP)
+    return doc, draw(grid_delta(records)), draw(grid_delta(records))
+
+
+class TestGridPreservation:
+    """Transform and compose keep cdeltas on the record grid, which is
+    what licenses the extension's cheap pre-filter on merge patches."""
+
+    @settings(max_examples=300)
+    @given(concurrent_grid_pair())
+    def test_inputs_are_aligned_by_construction(self, case):
+        _, a, b = case
+        assert ot.grid_aligned(a, OFFSET, STEP)
+        assert ot.grid_aligned(b, OFFSET, STEP)
+
+    @settings(max_examples=300)
+    @given(concurrent_grid_pair())
+    def test_transform_preserves_alignment(self, case):
+        doc, a, b = case
+        for one, other, side in ((a, b, "left"), (b, a, "right")):
+            out = transform(one, other, side)
+            assert ot.grid_aligned(out, OFFSET, STEP)
+            assert out.apply(other.apply(doc))  # still applies cleanly
+
+    @settings(max_examples=200)
+    @given(st.data())
+    def test_compose_preserves_alignment(self, data):
+        records = data.draw(st.integers(0, 6))
+        doc = "H" * OFFSET + "r" * (records * STEP)
+        first = data.draw(grid_delta(records))
+        middle = first.apply(doc)
+        second = data.draw(grid_delta((len(middle) - OFFSET) // STEP))
+        assert ot.grid_aligned(compose(first, second), OFFSET, STEP)
+
+    @settings(max_examples=200)
+    @given(rebase_case())
+    def test_rebased_patch_alignment_over_grid_history(self, case):
+        """Full-path version: a grid-aligned save rebased over
+        grid-aligned history yields grid-aligned rebased + patch."""
+        # reuse the generic case only for history depth; rebuild on grid
+        _, _, history, _ = case
+        depth = len(history)
+        doc = "H" * OFFSET + "r" * (4 * STEP)
+        incoming = Delta((Retain(OFFSET), Insert("I" * STEP)))
+        grid_history, head = [], doc
+        for i in range(depth):
+            committed = Delta((Retain(len(head)), Insert("C" * STEP)))
+            grid_history.append(committed)
+            head = committed.apply(head)
+        merge = ot.rebase(incoming, grid_history)
+        assert ot.grid_aligned(merge.rebased, OFFSET, STEP)
+        assert ot.grid_aligned(merge.patch, OFFSET, STEP)

@@ -81,6 +81,24 @@ class TestGenerators:
         seen = {generate_trace(seed, "ci").mode for seed in range(120)}
         assert seen == set(MODES)
 
+    def test_collab_profile_draws_many_clients(self):
+        counts = {generate_trace(seed, "collab").clients
+                  for seed in range(60)}
+        assert counts <= set(range(2, 17))
+        assert len(counts) > 4, "the 2-16 writer draw barely varies"
+        assert all(generate_trace(seed, "collab").mode == "concurrent"
+                   for seed in range(20))
+
+    def test_default_profiles_stay_two_client(self):
+        """Profiles without a widened max_clients never draw from the
+        rng for the client count — pre-collab traces (and digests)
+        must stay byte-identical."""
+        for profile in ("ci", "quick", "deep", "burst"):
+            for seed in range(40):
+                trace = generate_trace(seed, profile)
+                assert trace.clients == (
+                    2 if trace.mode == "concurrent" else 1)
+
 
 class TestOracle:
     def test_resolve_pos_bounds(self):

@@ -114,3 +114,32 @@ def test_client_importing_the_pool_is_flagged(lint):
         "repro.extension.stacks",
         "from repro.net.transport import InProcessTransport\n",
     ) == []
+
+
+# -- the PR-8 OT merge-engine rules --------------------------------------
+
+
+def test_ot_importing_crypto_is_flagged(lint):
+    for banned in ("repro.crypto", "repro.crypto.aes"):
+        problems = lint.check_source(
+            "repro.services.ot", f"import {banned}\n",
+        )
+        assert problems and "key material" in problems[0], banned
+
+
+def test_ot_importing_the_trusted_layer_is_flagged(lint):
+    # covered by the general services rule — pin it for repro.services.ot
+    for banned in ("repro.client.resilient", "repro.extension.session"):
+        problems = lint.check_source(
+            "repro.services.ot", f"import {banned}\n",
+        )
+        assert problems and "untrusted" in problems[0], banned
+
+
+def test_ot_may_use_core_delta_algebra_and_obs(lint):
+    assert lint.check_source(
+        "repro.services.ot",
+        "from repro.core.delta import Delta\n"
+        "from repro.core.ot import compose, transform\n"
+        "from repro.obs import counter, histogram\n",
+    ) == []

@@ -32,7 +32,15 @@ class TestMergePath:
         resp = ch.send(protocol.delta_save_request("doc", sid, 1, "+HEAD "))
         ack = protocol.Ack.from_response(resp)
         assert ack.merged and not ack.conflict
-        assert ack.content_from_server == "HEAD abcdefTAIL"
+        # no content echo: the Ack carries the mergePatch instead, a
+        # delta from the saver's post-save text to the merged text
+        assert ack.content_from_server == ""
+        assert server.store.get("doc").content == "HEAD abcdefTAIL"
+        from repro.core.delta import Delta
+        patched = Delta.parse(ack.merge_patch).apply("HEAD abcdef")
+        assert patched == "HEAD abcdefTAIL"
+        assert ack.content_from_server_hash == \
+            protocol.content_hash("HEAD abcdefTAIL")
         assert server.merges_performed == 1
 
     def test_merge_blocked_by_intervening_full_save(self, merging):

@@ -1,0 +1,112 @@
+"""Unit tests for the server-side OT merge engine (repro.services.ot).
+
+The property suite (tests/property/test_prop_ot.py) pins the algebra
+over arbitrary deltas; these tests pin the concrete contract the
+merging server and the extension lean on: the rebase/patch duality on
+worked examples, history-wins tie-breaking, wire-string history
+entries, the grid-alignment gate, and the obs counters.
+"""
+
+from __future__ import annotations
+
+from repro.core.delta import Delete, Delta, Insert, Retain
+from repro.obs import capture
+from repro.services import ot
+
+
+BASE = "HEAD abcdef"
+
+
+class TestRebase:
+    def test_empty_history_is_identity(self):
+        incoming = Delta((Retain(4), Insert("XX")))
+        merge = ot.rebase(incoming, [])
+        assert merge.rebased is incoming
+        assert merge.patch.apply("anything") == "anything"
+        assert merge.depth == 0
+
+    def test_rebase_patch_duality_single(self):
+        # saver edits at 4, history appended at the end first
+        incoming = Delta((Retain(4), Insert("XX")))
+        committed = Delta((Retain(len(BASE)), Insert("TAIL")))
+        merge = ot.rebase(incoming, [committed])
+        head = committed.apply(BASE)            # server state at save
+        merged = merge.rebased.apply(head)      # what the store commits
+        saver = incoming.apply(BASE)            # saver's post-save text
+        assert merge.patch.apply(saver) == merged
+        assert merge.depth == 1
+
+    def test_rebase_patch_duality_deep(self):
+        incoming = Delta((Retain(5), Insert("mine "),))
+        history = [
+            Delta((Insert("1"),)),
+            Delta((Retain(3), Delete(2), Insert("22"))),
+            Delta((Retain(8), Insert("333"))),
+        ]
+        head = BASE
+        for committed in history:
+            head = committed.apply(head)
+        merge = ot.rebase(incoming, history)
+        assert merge.depth == 3
+        assert (merge.patch.apply(incoming.apply(BASE))
+                == merge.rebased.apply(head))
+
+    def test_history_wins_insert_position_ties(self):
+        incoming = Delta((Retain(4), Insert("ME")))
+        committed = Delta((Retain(4), Insert("HIST")))
+        merge = ot.rebase(incoming, [committed])
+        merged = merge.rebased.apply(committed.apply(BASE))
+        assert merged == "HEADHISTME abcdef"
+
+    def test_history_entries_may_be_wire_strings(self):
+        committed = Delta((Retain(len(BASE)), Insert("TAIL")))
+        incoming = Delta((Retain(4), Insert("XX")))
+        by_obj = ot.rebase(incoming, [committed])
+        by_wire = ot.rebase(incoming, [committed.serialize()])
+        assert by_wire.rebased.serialize() == by_obj.rebased.serialize()
+        assert by_wire.patch.serialize() == by_obj.patch.serialize()
+
+
+class TestGridAligned:
+    OFFSET, STEP = 10, 4
+
+    def aligned(self, delta):
+        return ot.grid_aligned(delta, self.OFFSET, self.STEP)
+
+    def test_whole_record_edits_on_grid_pass(self):
+        assert self.aligned(Delta((Retain(10), Insert("AAAA")))) is True
+        assert self.aligned(Delta((Retain(14), Delete(8)))) is True
+        assert self.aligned(Delta((Retain(30),))) is True  # retain-only
+
+    def test_partial_record_insert_fails(self):
+        assert self.aligned(Delta((Retain(10), Insert("AAA")))) is False
+
+    def test_off_grid_position_fails(self):
+        assert self.aligned(Delta((Retain(12), Insert("AAAA")))) is False
+
+    def test_edit_inside_the_header_fails(self):
+        # position 4 is before offset 10 — header bytes are off-limits
+        assert self.aligned(Delta((Retain(4), Insert("AAAA")))) is False
+        assert self.aligned(Delta((Delete(4),))) is False
+
+    def test_partial_record_delete_fails(self):
+        assert self.aligned(Delta((Retain(10), Delete(3)))) is False
+
+    def test_nonpositive_step_is_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            ot.grid_aligned(Delta(()), 0, 0)
+
+
+class TestCounters:
+    def test_rebase_counts_merges_and_algebra(self):
+        incoming = Delta((Retain(4), Insert("XX")))
+        history = [Delta((Retain(len(BASE)), Insert("TAIL")))] * 2
+        with capture() as cap:
+            ot.rebase(incoming, history)
+            ot.reject()
+        assert cap["services.ot.merges"] == 1
+        assert cap["services.ot.rejects"] == 1
+        # one transform pair per history entry
+        assert cap["services.ot.transforms"] == 4
+        assert cap["services.ot.composes"] == 2

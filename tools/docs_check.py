@@ -120,11 +120,18 @@ SIDECARS = {
     "BENCH_faults.json": ("repro.bench.faults/v1", ("current", "seed")),
     "BENCH_load.json": (
         "repro.bench.load/v1", ("current", "seed", "fault_rate")),
+    "BENCH_collab.json": (
+        "repro.bench.collab/v1", ("current", "seed", "writer_counts")),
 }
 
 #: every measured load cell must report these (the chart axes)
 LOAD_CELL_KEYS = ("sessions", "edits_per_sec", "save_p50_ms",
                   "save_p99_ms", "latency_source")
+
+#: every measured collaboration cell must report these (the axes of
+#: the conflict-rate and convergence-time charts, plus the oracles)
+COLLAB_CELL_KEYS = ("writers", "conflict_rate", "merges", "converged",
+                    "convergence_s", "leak_clean")
 
 
 def _check_load_rows(payload: dict) -> list[str]:
@@ -142,6 +149,25 @@ def _check_load_rows(payload: dict) -> list[str]:
                 if missing:
                     errors.append(
                         f"{block_name}.{service}.{label} lacks "
+                        f"{', '.join(missing)}")
+    return errors
+
+
+def _check_collab_rows(payload: dict) -> list[str]:
+    """repro.bench.collab/v1: every cell row carries its chart axes."""
+    errors = []
+    for block_name in ("baseline", "current"):
+        block = payload.get(block_name) or {}
+        for variant, rows in block.items():
+            if variant == "headline" or not isinstance(rows, dict):
+                continue
+            for label, row in rows.items():
+                if not isinstance(row, dict):
+                    continue
+                missing = [k for k in COLLAB_CELL_KEYS if k not in row]
+                if missing:
+                    errors.append(
+                        f"{block_name}.{variant}.{label} lacks "
                         f"{', '.join(missing)}")
     return errors
 
@@ -169,6 +195,9 @@ def check_sidecars() -> list[str]:
         if schema == "repro.bench.load/v1":
             problems.extend(f"{name}: {e}"
                             for e in _check_load_rows(payload))
+        if schema == "repro.bench.collab/v1":
+            problems.extend(f"{name}: {e}"
+                            for e in _check_collab_rows(payload))
     return problems
 
 

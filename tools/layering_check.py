@@ -23,6 +23,10 @@ enforces the layering that ``docs/architecture.md`` documents:
 * **service code** (``repro.services.*``) may not import
   ``repro.client`` or ``repro.extension`` — providers are untrusted
   and know nothing of the mediation stack above them.
+* **the OT merge engine** (``repro.services.ot``, PR 8) additionally
+  may not import ``repro.crypto``: it rebases ciphertext deltas
+  *blind*, and a merge engine holding key material would be a
+  provider that can read.
 * **transport/server code** (``repro.net.*``, PR 7) sits below the
   trust boundary and sees only ciphertext: it may not import the
   trusted layer (``repro.client``, ``repro.extension``) *or*
@@ -75,6 +79,13 @@ NET_POOL = "repro.net.pool"
 
 #: what transport/server code (repro.net.*) must never import
 NET_BANNED = ("repro.client", "repro.extension", "repro.crypto")
+
+#: the server-side OT merge engine (PR 8) — pure ciphertext-delta
+#: algebra.  It already may not import client/extension (it lives
+#: under repro.services); key material is banned on top of that: a
+#: merge engine that can decrypt is a provider that can read.
+OT_MODULE = "repro.services.ot"
+OT_BANNED = ("repro.crypto",)
 
 
 def _module_name(path: pathlib.Path) -> str:
@@ -160,6 +171,14 @@ def check_source(module: str, source: str, where: str = "<source>"
                 f"layer ({imported}) — providers are untrusted and "
                 f"must not know the mediation stack"
             )
+        if module == OT_MODULE:
+            for banned in OT_BANNED:
+                if _covers(imported, banned):
+                    problems.append(
+                        f"{spot}: {module} imports {imported} — the OT "
+                        f"merge engine transforms ciphertext deltas "
+                        f"blind and must never hold key material"
+                    )
         if in_net:
             for banned in NET_BANNED:
                 if _covers(imported, banned):
