@@ -6,16 +6,19 @@ PYTHON ?= python3
 # differential-fuzzer budgets: FUZZ_ITERS bounds the CI run inside
 # `make test`; BURST_ITERS drives the burst profile (long keystroke
 # runs through the edit-coalescing differential); COLLAB_ITERS drives
-# the N-writer (2-16 clients) collaboration profile; fuzz-long runs
-# the deep profile at FUZZ_LONG_ITERS.
+# the N-writer (2-16 clients) collaboration profile; WORKSPACE_ITERS
+# drives the multi-document workspace profile (encrypted search +
+# audit-chain oracles, incl. the rollback-attacking server); fuzz-long
+# runs the deep profile at FUZZ_LONG_ITERS.
 # COVERAGE_MIN is the line-coverage threshold `make coverage` enforces.
 FUZZ_ITERS ?= 2000
 BURST_ITERS ?= 400
 COLLAB_ITERS ?= 200
+WORKSPACE_ITERS ?= 60
 FUZZ_LONG_ITERS ?= 20000
 COVERAGE_MIN ?= 80
 
-.PHONY: install test metrics-smoke docs-check layering-check fuzz fuzz-long mutation-smoke coverage bench bench-edits bench-faults bench-load bench-load-smoke bench-collab figures examples all clean
+.PHONY: install test metrics-smoke docs-check layering-check fuzz fuzz-long mutation-smoke coverage bench bench-edits bench-faults bench-load bench-load-smoke bench-collab bench-search bench-trend figures examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,6 +33,7 @@ fuzz:             ## seeded differential fuzzing (bounded CI budget) + oracle te
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(FUZZ_ITERS)
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(BURST_ITERS) --profile burst
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(COLLAB_ITERS) --profile collab
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed 0 --iters $(WORKSPACE_ITERS) --profile workspace
 	$(PYTHON) tools/mutation_smoke.py
 
 fuzz-long:        ## the deep profile at full budget, plus the slow-marked tests
@@ -65,6 +69,12 @@ bench-load-smoke: ## 16-session load-generator smoke (both transports, faults on
 
 bench-collab:     ## 2/8/32/100-writer conflict-rate sweep (merge vs conflict) -> BENCH_collab.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_collab.py
+
+bench-search:     ## encrypted-search scaling (query vs corpus, index overhead, audit verify) -> BENCH_search.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_search.py
+
+bench-trend:      ## aggregate every BENCH_*.json sidecar into one trajectory table
+	$(PYTHON) tools/bench_trend.py
 
 figures:          ## timings + qualitative shape assertions + tables
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/

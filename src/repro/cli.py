@@ -466,9 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of seeded traces to run (default 2000)")
     p.add_argument("--profile", default="ci",
                    choices=["ci", "quick", "engine", "burst", "deep",
-                            "collab"],
+                            "collab", "workspace"],
                    help="trace-shape profile (default ci)")
-    p.add_argument("--mode", choices=["engine", "session", "concurrent"],
+    p.add_argument("--mode",
+                   choices=["engine", "session", "concurrent",
+                            "workspace"],
                    help="force one execution mode (default: mixed)")
     p.add_argument("--service",
                    choices=["gdocs", "bespin", "buzzword", "replicated"],

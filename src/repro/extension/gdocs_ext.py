@@ -41,6 +41,8 @@ from repro.extension.passwords import PasswordVault
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.latency import SimClock
 from repro.obs import counter
+from repro.services.catalog import A_AUDIT_LINK, F_AUDIT, F_INDEX, \
+    encode_records
 from repro.services.gdocs import protocol
 
 __all__ = ["GDocsExtension"]
@@ -80,6 +82,8 @@ class GDocsExtension:
         stego: bool = False,
         freshness: FreshnessMonitor | None = None,
         verify_acks: bool = False,
+        indexer=None,
+        audit: bool = False,
     ):
         self._vault = vault
         self._scheme = scheme
@@ -102,6 +106,18 @@ class GDocsExtension:
         #: the client resyncs.  Costs one hash of the full mirror wire
         #: per save — off by default, enabled by fault-tolerant sessions
         self._verify_acks = verify_acks
+        #: workspace seam (PR 10): a
+        #: repro.extension.catalog.WorkspaceIndexer fed the plaintext of
+        #: every save the extension transforms; its encrypted index
+        #: delta records ride the rewritten request's ``idx`` field
+        self._indexer = indexer
+        #: opt every save into the server's hash-chained audit trail
+        #: (``aud=1``); acknowledged links are collected per doc in
+        #: ``audit_trail`` for the workspace's trust store
+        self._audit = audit
+        #: doc_id -> (rev, content hash, audit link) of the newest
+        #: clean, audited ack witnessed on this channel
+        self.audit_trail: dict[str, tuple[int, str, str]] = {}
         self._engines: dict[str, EncryptionEngine] = {}
         #: (doc_id, idempotency key) -> the rewritten request already
         #: produced for that save; a client retry must re-send the SAME
@@ -183,6 +199,9 @@ class GDocsExtension:
             from repro.encoding.stego import stego_wrap
             ciphertext = stego_wrap(ciphertext)
         fields = {**form, protocol.F_DOC_CONTENTS: ciphertext}
+        if self._indexer is not None:
+            self._attach_catalog_fields(
+                fields, self._indexer.set_text(doc_id, plaintext))
         return self._finish_update(request, fields)
 
     def _rewrite_delta_save(
@@ -205,7 +224,21 @@ class GDocsExtension:
                 cdelta, engine.mirror._header.wire_length
             )
         fields = {**form, protocol.F_DELTA: cdelta.serialize()}
+        if self._indexer is not None:
+            self._attach_catalog_fields(
+                fields, self._indexer.apply(doc_id, delta))
         return self._finish_update(request, fields)
+
+    def _attach_catalog_fields(self, fields: dict[str, str],
+                               records) -> None:
+        """Ride the workspace's catalog maintenance on this save: the
+        encrypted index delta records and (when enabled) the audit-trail
+        opt-in.  Only indexer-equipped sessions ever reach here, so the
+        legacy single-document wire stays byte-identical."""
+        if records:
+            fields[F_INDEX] = encode_records(records)
+        if self._audit:
+            fields[F_AUDIT] = "1"
 
     def _finish_update(
         self, request: HttpRequest, fields: dict[str, str]
@@ -270,6 +303,17 @@ class GDocsExtension:
         self, doc_id: str, response: HttpResponse, fields: dict[str, str]
     ) -> HttpResponse:
         divergent = self._verify_acks and self._ack_diverges(doc_id, fields)
+        link = fields.get(A_AUDIT_LINK, "")
+        if link and not divergent \
+                and fields.get(protocol.A_STATUS) == "ok" \
+                and fields.get(protocol.A_CONFLICT) != "1":
+            try:
+                rev = int(fields.get(protocol.A_REV, ""))
+            except ValueError:
+                rev = None
+            if rev is not None:
+                self.audit_trail[doc_id] = (
+                    rev, fields.get(protocol.A_CONTENT_HASH, ""), link)
         content = self._unwrap_if_stego(fields.get(protocol.A_CONTENT, ""))
         if self._decrypt_acks and looks_encrypted(content):
             plain = self._try_decrypt(doc_id, content)

@@ -57,6 +57,8 @@ class PrivateEditingSession:
         transport=None,
         clock=None,
         max_log: int | None = None,
+        indexer=None,
+        audit: bool = False,
     ):
         #: which cloud this session runs against (a
         #: repro.services.registry.SERVICE_NAMES name)
@@ -96,6 +98,12 @@ class PrivateEditingSession:
                 stego=stego,
                 freshness=freshness,
                 verify_acks=verify_acks,
+                # the workspace seam (PR 10): a shared
+                # repro.extension.catalog.WorkspaceIndexer plus the
+                # audit-trail opt-in, threaded per session by
+                # repro.client.workspace.Workspace
+                indexer=indexer,
+                audit=audit,
             )
             self.channel.set_mediator(self.extension)
         self.client = build_client(service, self.channel, doc_id,

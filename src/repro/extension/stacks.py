@@ -47,12 +47,15 @@ def build_extension(
     stego: bool = False,
     freshness=None,
     verify_acks: bool = False,
+    indexer=None,
+    audit: bool = False,
 ):
     """The mediating extension for ``service``.
 
     gdocs-only options (countermeasures, stego, freshness, Ack
-    handling, index choice) are ignored by the whole-file extensions —
-    their protocols have no Acks, deltas, or indexes to apply them to.
+    handling, index choice, the workspace indexer / audit-trail seam)
+    are ignored by the whole-file extensions — their protocols have no
+    Acks, deltas, or indexes to apply them to.
     """
     if service in ("gdocs", "replicated"):
         return GDocsExtension(
@@ -67,6 +70,8 @@ def build_extension(
             stego=stego,
             freshness=freshness,
             verify_acks=verify_acks,
+            indexer=indexer,
+            audit=audit,
         )
     if service == "bespin":
         return BespinExtension(vault, scheme=scheme,

@@ -62,7 +62,7 @@ INDEXES = ("skiplist", "avl", "reference")
 #: which server store the cdelta is checked against ("both" cross-checks
 #: the flat string and the piece table every step)
 STORES = ("both", "flat", "pieces")
-MODES = ("engine", "session", "concurrent")
+MODES = ("engine", "session", "concurrent", "workspace")
 #: services a networked trace may target (mirrors
 #: repro.services.registry.SERVICE_NAMES; kept literal so a corpus file
 #: is readable without imports).  engine mode has no service at all and
@@ -189,6 +189,11 @@ class Trace:
                 "concurrent traces run against gdocs only (OT merging "
                 "is a gdocs-protocol notion)"
             )
+        if self.mode == "workspace" and self.service != "gdocs":
+            raise ValueError(
+                "workspace traces run against gdocs only (the catalog's "
+                "piggybacked maintenance rides the gdocs save protocol)"
+            )
         if self.scheme not in SCHEMES:
             raise ValueError(f"unknown scheme {self.scheme!r}")
         if self.index not in INDEXES:
@@ -263,7 +268,10 @@ class Profile:
 
     name: str
     #: cumulative mode thresholds drawn against random(); order matches
-    #: ("engine", "session", "concurrent")
+    #: MODES.  Pre-workspace profiles carry 3-tuples: zip() against the
+    #: 4-entry MODES truncates, so their draws (and every recorded
+    #: digest) stay byte-identical — workspace traces come only from
+    #: profiles that weight the fourth slot explicitly.
     mode_weights: tuple = (0.60, 0.25, 0.15)
     max_init: int = 120
     max_ops: int = 12
@@ -309,6 +317,16 @@ PROFILES = {
         name="collab", mode_weights=(0.0, 0.0, 1.0), max_ops=20,
         max_insert=24, fault_prob=0.4, max_fault_specs=2,
         rate_range=(0.05, 0.25), max_clients=16,
+    ),
+    # the multi-document tenant profile: every trace opens a workspace
+    # of 2–4 documents, edits across them, and judges the encrypted
+    # search index plus the audit chain against ground truth (including
+    # a rollback-attacking server).  Fault-free: the catalog's save
+    # piggyback rides acknowledged saves, so chaos belongs to the other
+    # profiles.  max_clients doubles as the document count here.
+    "workspace": Profile(
+        name="workspace", mode_weights=(0.0, 0.0, 0.0, 1.0),
+        max_ops=16, max_insert=24, fault_prob=0.0, max_clients=4,
     ),
 }
 
@@ -396,7 +414,7 @@ def generate_trace(
     if service is None:
         service = (rng.choice(_SESSION_SERVICES)
                    if mode == "session" else "gdocs")
-    if mode != "concurrent":
+    if mode not in ("concurrent", "workspace"):
         clients = 1
     elif prof.max_clients > 2:
         clients = rng.randint(2, prof.max_clients)

@@ -43,6 +43,15 @@ Invariant catalogue (the names used in ``Violation.kind``):
     a save that must succeed (post-quiesce) returned a typed failure.
 ``plaintext-leak``
     a plaintext sentinel appeared in bytes that crossed the Channel.
+``search-mismatch``
+    the encrypted search index answered a trapdoor lookup with a
+    document set different from the plaintext word oracle's.
+``audit-false-alarm``
+    an untampered audit chain failed verification (integrity checking
+    must not cry wolf).
+``audit-miss``
+    a rollback-attacking server — stale chain or forged
+    self-consistent chain — went undetected by ``verify_history``.
 """
 
 from __future__ import annotations

@@ -31,6 +31,16 @@ Three execution modes, selected by ``Trace.mode``:
     re-open must leave both clients and the decrypted server state
     identical — the OT convergence obligation.
 
+``workspace``
+    One :class:`repro.client.workspace.Workspace` over several
+    documents on a catalog-wrapped server.  On top of per-document
+    convergence and the leak check, the encrypted search index is
+    judged against a plaintext word oracle and the audit chains are
+    judged twice: honest histories must verify clean, and an
+    :class:`~repro.security.adversary.ActiveServerAdversary` mounting
+    a plain rollback and a forged self-consistent chain must both be
+    detected.
+
 :class:`FuzzRunner` iterates seeds, hashes every (trace, fingerprint)
 pair into a run digest — identical seed ⇒ byte-identical digest — and
 on failure shrinks the trace and serializes a replay file under the
@@ -46,12 +56,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.client.coalesce import EditCoalescer
+from repro.client.workspace import Workspace
 from repro.core.document import create_document
 from repro.core.keys import KeyMaterial
 from repro.core.transform import EncryptionEngine
 from repro.crypto.random import DeterministicRandomSource
 from repro.datastructures import IndexedAVL, IndexedSkipList, ReferenceIndex
 from repro.errors import ReproError
+from repro.extension.catalog import extract_words
 from repro.extension.session import PrivateEditingSession
 from repro.fuzz.generators import PROFILES, SERVICES, Trace, generate_trace
 from repro.fuzz.model import (
@@ -69,7 +81,9 @@ from repro.fuzz.model import (
 from repro.net.faults import FaultPlan, FaultSpec, updates_only
 from repro.net.policy import RetryPolicy
 from repro.obs.metrics import counter
+from repro.security.adversary import ActiveServerAdversary
 from repro.services import registry
+from repro.services.gdocs import protocol as gdocs_protocol
 from repro.services.gdocs.pieces import PieceTable
 from repro.services.gdocs.server import GDocsServer
 
@@ -408,10 +422,140 @@ def _run_concurrent(trace: Trace) -> str:
     return one.server_view() + "\n--\n" + texts[0]
 
 
+# -- workspace mode -----------------------------------------------------------
+
+#: at most this many distinct words are search-checked per trace (they
+#: are drawn sorted, so the sample is deterministic); the cap keeps a
+#: wordy trace from turning one case into hundreds of lookups
+_SEARCH_SAMPLE = 24
+
+
+def _run_workspace(trace: Trace) -> str:
+    """One tenant, several documents, and three oracles on top of the
+    usual convergence/leak checks:
+
+    * *search*: for a sample of words from the final texts, the
+      encrypted index must return exactly the documents whose plaintext
+      contains the word (and nothing for an absent probe word);
+    * *audit (honest)*: every document's chain must verify clean;
+    * *audit (malicious)*: an :class:`ActiveServerAdversary` then rolls
+      one document back (chain left stale) and forges a self-consistent
+      replacement chain over rolled-back content on another — both must
+      raise alerts, else ``audit-miss``.
+    """
+    n_docs = max(2, trace.clients)
+    doc_ids = [f"ws-{trace.seed}-{i}" for i in range(n_docs)]
+    server = registry.make_server("gdocs", catalog=True)
+    ws = Workspace(
+        f"tenant-{trace.seed}",
+        server=server,
+        scheme=trace.scheme,
+        block_chars=trace.block_chars,
+        index_factory=_INDEX_FACTORIES[trace.index],
+        rng_seed=trace.seed,
+    )
+    for doc_id in doc_ids:
+        ws.open(doc_id)
+    ws.type_text(doc_ids[0], 0, SENTINEL + " " + trace.init)
+    ws.save(doc_ids[0])
+
+    for op in trace.ops:
+        doc_id = doc_ids[op[-1] % n_docs]
+        if op[0] == "s":
+            ws.save(doc_id)
+            continue
+        _OPS.inc()
+        _apply_session_op(ws.session(doc_id), op)
+
+    # two more edited saves per document: every audit chain ends at
+    # least two links deep and the store holds real version history for
+    # the rollback attacks below
+    for i, doc_id in enumerate(doc_ids):
+        for depth in range(2):
+            ws.type_text(doc_id, 0, f"depth{depth} marker{i} ")
+            ws.save(doc_id)
+    ws.save_all()
+
+    # oracle: per-document convergence through the catalog wrapper
+    truth: dict[str, str] = {}
+    for doc_id in doc_ids:
+        recovered = registry.decrypt_view(
+            "gdocs", ws.session(doc_id).server_view(),
+            ws.password_for(doc_id), trace.scheme)
+        check_equal("convergence", recovered, ws.text(doc_id), -1,
+                    f"decrypt(server) vs client text for {doc_id}")
+        truth[doc_id] = ws.text(doc_id)
+
+    listed = set(ws.list_docs())
+    missing = [d for d in doc_ids if d not in listed]
+    if missing:
+        raise InvariantViolation(Violation(
+            "search-mismatch", -1, f"catalog listing missing {missing}"))
+
+    # oracle: encrypted search vs the plaintext ground truth
+    indexed = {d: set(extract_words(text)) for d, text in truth.items()}
+    words = sorted({w for ws_words in indexed.values() for w in ws_words})
+    for word in words[:_SEARCH_SAMPLE]:
+        expected = sorted(d for d in doc_ids if word in indexed[d])
+        check_equal("search-mismatch", ",".join(ws.search(word)),
+                    ",".join(expected), -1, f"search({word!r})")
+    probe = f"zzzabsent{trace.seed}"
+    check_equal("search-mismatch", ",".join(ws.search(probe)), "",
+                -1, f"search({probe!r}) (word in no document)")
+
+    # oracle: honest histories verify clean
+    for doc_id in doc_ids:
+        alerts = ws.verify_history(doc_id)
+        if alerts:
+            raise InvariantViolation(Violation(
+                "audit-false-alarm", -1,
+                f"clean history of {doc_id} raised {alerts[0]!r}"))
+
+    blobs = _leak_blobs(None, *(ws.session(d) for d in doc_ids))
+    for exchange in ws.catalog_channel.exchange_log:
+        blobs.append(exchange.request.url)
+        blobs.append(exchange.request.body)
+        blobs.append(exchange.response.body)
+    check_no_leak(blobs, SENTINEL)
+
+    # attack 1: plain rollback — stored content rewound, chain left
+    # stale.  The audited head no longer matches the store.
+    adv = ActiveServerAdversary(server.store)
+    victim = doc_ids[0]
+    adv.rollback(victim, 1)
+    if not ws.verify_history(victim):
+        raise InvariantViolation(Violation(
+            "audit-miss", -1,
+            f"rolled-back {victim} verified clean (stale chain)"))
+
+    # attack 2: forged chain — roll back *and* rebuild a
+    # self-consistent chain over the stale content.  Every link
+    # recomputes and the head matches the store, so only the client's
+    # remembered (rev, link) anchor can refute it.
+    target = doc_ids[1]
+    stored = server.store.get(target)
+    old = stored.history[0] if stored.history else stored.content
+    adv.overwrite(target, old)
+    rev_now = ws.session(target).client.revision
+    history = [(rev, gdocs_protocol.content_hash(f"forged-{rev}"))
+               for rev in range(1, rev_now)]
+    history.append((rev_now, gdocs_protocol.content_hash(old)))
+    adv.forge_chain(server.catalog, target, history)
+    if not ws.verify_history(target):
+        raise InvariantViolation(Violation(
+            "audit-miss", -1,
+            f"forged self-consistent chain over rolled-back {target} "
+            f"verified clean"))
+
+    return "\n--\n".join([truth[d] for d in doc_ids]
+                         + [",".join(sorted(listed))])
+
+
 _MODES = {
     "engine": _run_engine,
     "session": _run_session,
     "concurrent": _run_concurrent,
+    "workspace": _run_workspace,
 }
 
 

@@ -57,6 +57,7 @@ from repro.net.transport import (
 )
 from repro.obs import counter, gauge, histogram
 from repro.services import registry
+from repro.services.catalog import CatalogService, CatalogStore
 
 __all__ = ["ReproServer", "ServerThread"]
 
@@ -93,6 +94,11 @@ class ReproServer:
         self._lock = threading.Lock()
         # (service, tenant, shard) -> backend instance
         self._instances: dict[tuple[str, str, int], object] = {}
+        # (service, tenant) -> the catalog shared by that pair's shards:
+        # document state is sharded, but listings / search / audit
+        # chains are tenant-global (CatalogStore locks internally, so
+        # cross-shard executor threads share it safely)
+        self._catalogs: dict[tuple[str, str], CatalogStore] = {}
         # one single-thread executor per shard index: per-doc apply is
         # serialized, cross-doc apply is concurrent
         self._executors = [
@@ -116,8 +122,14 @@ class ReproServer:
             if inst is None:
                 merging = self.merge_concurrent and registry.backend_for(
                     service).capabilities.merges_stale_saves
-                inst = registry.make_server(service,
-                                            merge_concurrent=merging)
+                store = self._catalogs.get((service, tenant))
+                if store is None:
+                    store = CatalogStore()
+                    self._catalogs[(service, tenant)] = store
+                inst = CatalogService(
+                    registry.make_server(service, merge_concurrent=merging),
+                    store=store,
+                )
                 self._instances[key] = inst
                 _INSTANCES.add(1)
             return inst

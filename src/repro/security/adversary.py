@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.auditchain import AuditChain
 from repro.core.delta import Delete, Delta, Insert, Retain
 from repro.encoding.wire import RECORD_CHARS, split_header
 from repro.errors import CiphertextFormatError
@@ -162,3 +163,16 @@ class ActiveServerAdversary(HonestButCuriousServer):
         target = doc.history[-versions_back]
         self.overwrite(doc_id, target)
         return target
+
+    def forge_chain(self, catalog, doc_id: str, history) -> None:
+        """Rebuild a catalog's audit chain wholesale over ``history``
+        (``(rev, content_hash)`` pairs) — the sophisticated rollback: a
+        *self-consistent* forgery whose every link recomputes, which
+        only a client remembering an earlier head can refute.  The
+        provider owns the catalog store, so reaching into it is exactly
+        what the threat model grants."""
+        chain = AuditChain()
+        for rev, content_hash in history:
+            chain.append(rev, content_hash)
+        with catalog._lock:
+            catalog._chains[doc_id] = chain

@@ -89,6 +89,12 @@ class BackendCapabilities:
     #: (Bespin, Buzzword) have no delta language to merge in, so their
     #: protocol cannot express it.
     merges_stale_saves: bool = False
+    #: save acks can carry the catalog's piggybacked maintenance — the
+    #: encrypted-index ``idx`` records and the ``aud=1`` audit-trail
+    #: opt-in of repro.services.catalog.  Every hosted service exposes
+    #: the ``/Catalog`` endpoint itself (the wrapper delegates blind),
+    #: but only an ack-shaped save protocol can mint chain links.
+    catalog_acks: bool = False
 
 
 @dataclass(frozen=True)
@@ -259,6 +265,7 @@ class GDocsBackend:
         sessions=True,
         idempotency_keys=True,
         merges_stale_saves=True,
+        catalog_acks=True,
     )
 
     # -- builders --------------------------------------------------------

@@ -47,6 +47,7 @@ from repro.services.backend import (
 )
 from repro.services.bespin import BespinServer
 from repro.services.buzzword import BuzzwordServer
+from repro.services.catalog import CatalogService
 from repro.services.gdocs.server import GDocsServer
 from repro.services.replicated import ReplicatedService
 
@@ -89,7 +90,8 @@ def backend_for(service: str) -> ServiceBackend:
     return _BACKENDS[service]
 
 
-def make_server(service: str, merge_concurrent: bool = False) -> Server:
+def make_server(service: str, merge_concurrent: bool = False,
+                catalog: bool = False) -> Server:
     """A fresh simulated server (or replicated facade) for ``service``.
 
     ``merge_concurrent`` turns on the server-side OT merge path
@@ -98,6 +100,12 @@ def make_server(service: str, merge_concurrent: bool = False) -> Server:
     meaningful on backends whose protocol can express it
     (``capabilities.merges_stale_saves``); asking for it elsewhere is a
     caller bug, not a silent downgrade.
+
+    ``catalog`` wraps the server in a
+    :class:`repro.services.catalog.CatalogService` — the tenant-catalog
+    endpoint (doc listing, encrypted search index, audit chains) plus
+    the piggybacked save maintenance.  Off by default: the unwrapped
+    server is byte-identical to every pre-catalog baseline.
     """
     _check(service)
     if merge_concurrent and \
@@ -107,15 +115,19 @@ def make_server(service: str, merge_concurrent: bool = False) -> Server:
             "protocol has no delta language to transform)"
         )
     if service == "gdocs":
-        return GDocsServer(merge_concurrent=merge_concurrent)
-    if service == "bespin":
-        return BespinServer()
-    if service == "buzzword":
-        return BuzzwordServer()
-    return ReplicatedService(
-        [GDocsServer(merge_concurrent=merge_concurrent)
-         for _ in range(REPLICA_COUNT)], service=GDOCS
-    )
+        server: Server = GDocsServer(merge_concurrent=merge_concurrent)
+    elif service == "bespin":
+        server = BespinServer()
+    elif service == "buzzword":
+        server = BuzzwordServer()
+    else:
+        server = ReplicatedService(
+            [GDocsServer(merge_concurrent=merge_concurrent)
+             for _ in range(REPLICA_COUNT)], service=GDOCS
+        )
+    if catalog:
+        server = CatalogService(server)
+    return server
 
 
 def server_view(service: str, server: Server, doc_id: str) -> str:

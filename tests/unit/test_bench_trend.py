@@ -1,0 +1,91 @@
+"""The bench-trend aggregator: flattening, delta math, discovery.
+
+The tool reads whatever ``BENCH_*.json`` sidecars exist; the tests
+point it at a synthetic repo root so they pin the behaviour without
+depending on which benchmarks have been run here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_TOOL = (pathlib.Path(__file__).resolve().parents[2]
+         / "tools" / "bench_trend.py")
+
+
+@pytest.fixture(scope="module")
+def trend():
+    spec = importlib.util.spec_from_file_location("bench_trend", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_flatten_keeps_numbers_drops_strings_and_bools(trend):
+    flat = trend.flatten({
+        "a": {"b": 1, "c": 2.5, "s": "tag", "ok": True},
+        "top": 7,
+    })
+    assert flat == {"a.b": 1.0, "a.c": 2.5, "top": 7.0}
+    assert trend.flatten("not a dict") == {}
+
+
+def test_rows_pair_baseline_with_current(trend, tmp_path):
+    (tmp_path / "BENCH_x.json").write_text(json.dumps({
+        "schema": "x/v1",
+        "baseline": {"cell": {"eps": 100.0}, "old_only": 1},
+        "current": {"cell": {"eps": 150.0}, "new_only": 2},
+    }))
+    rows = trend.sidecar_rows(tmp_path / "BENCH_x.json")
+    by_cell = {row["cell"]: row for row in rows}
+    assert by_cell["cell.eps"] == {
+        "sidecar": "BENCH_x.json", "cell": "cell.eps",
+        "baseline": 100.0, "current": 150.0}
+    # cells present on only one side still show up
+    assert by_cell["old_only"]["current"] is None
+    assert by_cell["new_only"]["baseline"] is None
+    assert trend._delta(by_cell["cell.eps"]) == "+50.0%"
+    assert trend._delta(by_cell["old_only"]) == "-"
+
+
+def test_collect_discovers_and_filters(trend, tmp_path, monkeypatch):
+    monkeypatch.setattr(trend, "REPO", tmp_path)
+    for name in ("BENCH_a.json", "BENCH_b.json"):
+        (tmp_path / name).write_text(json.dumps(
+            {"baseline": None, "current": {"v": 1}}))
+    (tmp_path / "not_a_sidecar.json").write_text("{}")
+    rows = trend.collect()
+    assert {row["sidecar"] for row in rows} == \
+        {"BENCH_a.json", "BENCH_b.json"}
+    only = trend.collect(only="BENCH_a*")
+    assert {row["sidecar"] for row in only} == {"BENCH_a.json"}
+
+
+def test_unreadable_sidecar_becomes_a_row_not_a_crash(trend, tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{nope")
+    rows = trend.sidecar_rows(bad)
+    assert rows[0]["cell"] == "<unreadable>"
+
+
+def test_render_and_main_exit_clean(trend, tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(trend, "REPO", tmp_path)
+    assert trend.main([]) == 0
+    assert "no BENCH_" in capsys.readouterr().out
+    (tmp_path / "BENCH_a.json").write_text(json.dumps(
+        {"baseline": {"v": 2}, "current": {"v": 1}}))
+    assert trend.main([]) == 0
+    out = capsys.readouterr().out
+    assert "BENCH_a.json" in out and "-50.0%" in out
+    assert trend.main(["--json"]) == 0
+    assert json.loads(capsys.readouterr().out)[0]["cell"] == "v"
+
+
+def test_against_the_real_repo_root(trend):
+    """Whatever sidecars this checkout has must aggregate cleanly."""
+    for row in trend.collect():
+        assert "error" not in row, row

@@ -78,8 +78,13 @@ class TestGenerators:
         assert all("\x00" not in s for s in a)
 
     def test_modes_all_reachable(self):
+        # ci deliberately never draws workspace mode — its 3-tuple
+        # weights predate the fourth mode and must keep their rng
+        # stream (and recorded digests) byte-identical
         seen = {generate_trace(seed, "ci").mode for seed in range(120)}
-        assert seen == set(MODES)
+        assert seen == set(MODES) - {"workspace"}
+        assert all(generate_trace(seed, "workspace").mode == "workspace"
+                   for seed in range(10))
 
     def test_collab_profile_draws_many_clients(self):
         counts = {generate_trace(seed, "collab").clients

@@ -1,0 +1,57 @@
+"""The workspace fuzz mode: generation constraints, clean execution,
+and digest determinism.
+
+The heavyweight oracles (search vs ground truth, rollback attacks)
+run inside ``_run_workspace`` itself on every trace; what these tests
+pin is the harness contract around them — workspace traces are gdocs-
+only, replay byte-identically, and a handful of seeds execute clean
+end to end (``make fuzz`` then runs the real budget).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generators import PROFILES, Trace, generate_trace
+from repro.fuzz.runner import FuzzRunner, run_trace
+
+
+def test_workspace_profile_shape():
+    profile = PROFILES["workspace"]
+    assert profile.mode_weights == (0.0, 0.0, 0.0, 1.0)
+    for seed in range(20):
+        trace = generate_trace(seed, "workspace")
+        assert trace.mode == "workspace"
+        assert trace.service == "gdocs"
+        assert trace.faults is None
+        assert 1 <= trace.clients <= profile.max_clients
+
+
+def test_workspace_traces_are_gdocs_only():
+    with pytest.raises(ValueError, match="gdocs"):
+        Trace(seed=1, mode="workspace", service="bespin")
+
+
+def test_workspace_traces_replay_byte_identically():
+    for seed in (0, 7, 99):
+        assert generate_trace(seed, "workspace").to_json() == \
+            generate_trace(seed, "workspace").to_json()
+
+
+def test_a_handful_of_seeds_execute_clean():
+    for seed in range(4):
+        trace = generate_trace(seed, "workspace")
+        assert run_trace(trace) is None, seed
+
+
+def test_both_schemes_reach_the_workspace_oracles():
+    seen = {generate_trace(seed, "workspace").scheme
+            for seed in range(40)}
+    assert seen == {"recb", "rpc"}
+
+
+def test_runner_digest_is_deterministic():
+    a = FuzzRunner(seed=3, iters=4, profile="workspace").run()
+    b = FuzzRunner(seed=3, iters=4, profile="workspace").run()
+    assert a.ok and b.ok
+    assert a.digest == b.digest

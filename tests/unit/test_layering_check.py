@@ -143,3 +143,55 @@ def test_ot_may_use_core_delta_algebra_and_obs(lint):
         "from repro.core.ot import compose, transform\n"
         "from repro.obs import counter, histogram\n",
     ) == []
+
+
+# -- the PR-10 workspace/catalog/audit rules ------------------------------
+
+
+def test_catalog_importing_the_trusted_layer_is_flagged(lint):
+    # the general services rule covers the catalog op — pin it
+    for banned in ("repro.client.workspace", "repro.extension.catalog"):
+        problems = lint.check_source(
+            "repro.services.catalog", f"import {banned}\n",
+        )
+        assert problems and "untrusted" in problems[0], banned
+
+
+def test_catalog_importing_crypto_is_flagged(lint):
+    for banned in ("repro.crypto", "repro.crypto.random"):
+        problems = lint.check_source(
+            "repro.services.catalog", f"import {banned}\n",
+        )
+        assert problems and "key material" in problems[0], banned
+
+
+def test_auditchain_importing_services_is_flagged(lint):
+    for banned in ("repro.services", "repro.services.catalog"):
+        problems = lint.check_source(
+            "repro.core.auditchain", f"import {banned}\n",
+        )
+        assert problems and "verifier" in problems[0], banned
+
+
+def test_trusted_binding_catalog_server_names_is_flagged(lint):
+    for name in ("CatalogService", "CatalogStore"):
+        problems = lint.check_source(
+            "repro.client.sneaky",
+            f"from repro.services.catalog import {name}\n",
+        )
+        assert problems and name in problems[0], name
+
+
+def test_trusted_may_use_catalog_wire_builders(lint):
+    assert lint.check_source(
+        "repro.client.workspace",
+        "from repro.services.catalog import (\n"
+        "    catalog_chain_request,\n"
+        "    catalog_list_request,\n"
+        "    catalog_lookup_request,\n"
+        ")\n",
+    ) == []
+    assert lint.check_source(
+        "repro.extension.gdocs_ext",
+        "from repro.services.catalog import A_AUDIT_LINK, F_INDEX\n",
+    ) == []

@@ -1,0 +1,166 @@
+"""Refusal paths: the document store's quota/lookup guards and the
+frame server's error dispatch.
+
+The paper's SV-C analysis leans on Google's 500 kB quota — ciphertext
+blow-up matters precisely because the server *refuses* oversized
+content — so the refusal must be atomic (document unchanged, revision
+unmoved).  The frame server's guarantee is that no bad frame crashes
+the loop: every error branch answers a frame (or a 500 response), it
+never raises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError, QuotaExceededError
+from repro.net.server import ReproServer
+from repro.net.transport import OP_VIEW, decode_response_frame
+from repro.services.gdocs.storage import (
+    MAX_DOCUMENT_CHARS,
+    DocumentStore,
+)
+
+
+class TestDocumentStoreRefusals:
+    def test_full_save_over_quota_is_refused_atomically(self):
+        store = DocumentStore()
+        store.create("d", "before")
+        doc = store.get("d")
+        rev = doc.revision
+        with pytest.raises(QuotaExceededError):
+            store.set_content("d", "x" * (MAX_DOCUMENT_CHARS + 1))
+        assert doc.content == "before"
+        assert doc.revision == rev
+        assert list(doc.history) == []
+
+    def test_full_save_at_exact_quota_is_accepted(self):
+        store = DocumentStore()
+        store.create("d")
+        store.set_content("d", "x" * MAX_DOCUMENT_CHARS)
+        assert store.get("d").length == MAX_DOCUMENT_CHARS
+
+    def test_delta_over_quota_is_refused_atomically(self):
+        store = DocumentStore()
+        big = "x" * (MAX_DOCUMENT_CHARS - 1)
+        store.create("d", big)
+        doc = store.get("d")
+        with pytest.raises(QuotaExceededError):
+            store.apply_delta("d", f"={len(big)}\t+padpad")
+        assert doc.length == len(big)
+        assert doc.revision == 0
+        # ...and the document still takes a fitting delta afterwards
+        store.apply_delta("d", f"={len(big)}\t+!")
+        assert doc.length == MAX_DOCUMENT_CHARS
+
+    def test_duplicate_create_is_refused(self):
+        store = DocumentStore()
+        store.create("d")
+        with pytest.raises(ProtocolError, match="already exists"):
+            store.create("d")
+
+    def test_missing_document_is_refused(self):
+        store = DocumentStore()
+        with pytest.raises(ProtocolError, match="no document"):
+            store.get("ghost")
+        with pytest.raises(ProtocolError, match="no document"):
+            store.set_content("ghost", "x")
+
+    def test_ill_fitting_delta_is_a_protocol_error(self):
+        store = DocumentStore()
+        store.create("d", "short")
+        with pytest.raises(ProtocolError, match="does not fit"):
+            store.apply_delta("d", "=999\t+x")
+        assert store.get("d").content == "short"
+
+
+@pytest.fixture()
+def server():
+    srv = ReproServer(shards=2)
+    yield srv
+    srv.shutdown()
+
+
+def _dispatch(server: ReproServer, fields: dict) -> dict:
+    return asyncio.run(server._dispatch(fields))
+
+
+def _raiser(request):
+    raise RuntimeError("backend on fire")
+
+
+class TestFrameServerErrorBranches:
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValueError, match="shards"):
+            ReproServer(shards=0)
+
+    def test_unknown_service_answers_an_error_field(self, server):
+        reply = _dispatch(server, {"id": "7", "op": "ping",
+                                   "svc": "dropbox"})
+        assert reply["id"] == "7"
+        assert "unknown service" in reply["e"]
+
+    def test_unknown_op_answers_an_error_field(self, server):
+        reply = _dispatch(server, {"id": "8", "op": "teleport",
+                                   "svc": "gdocs"})
+        assert "unknown op" in reply["e"]
+
+    def test_http_frame_without_request_answers_an_error_field(self, server):
+        reply = _dispatch(server, {"id": "9", "op": "http",
+                                   "svc": "gdocs", "tn": "t"})
+        assert "e" in reply
+
+    def test_view_of_a_missing_document_answers_empty(self, server):
+        reply = _dispatch(server, {"id": "1", "op": OP_VIEW,
+                                   "svc": "gdocs", "tn": "t",
+                                   "doc": "ghost"})
+        response = decode_response_frame(reply)
+        assert response.status == 200
+        assert response.body == ""
+
+    def test_backend_crash_on_view_answers_500(self, server, monkeypatch):
+        """A backend exception must become a response frame, never
+        escape into (and kill) the event loop."""
+        from repro.services import registry
+
+        def exploding(service, inst, doc_id):
+            raise RuntimeError("shard on fire")
+
+        monkeypatch.setattr(registry, "server_view", exploding)
+        reply = _dispatch(server, {"id": "1", "op": OP_VIEW,
+                                   "svc": "gdocs", "tn": "t",
+                                   "doc": "d"})
+        response = decode_response_frame(reply)
+        assert response.status == 500
+        assert "view failed" in response.body
+
+    def test_backend_crash_on_http_answers_500(self, server, monkeypatch):
+        from repro.services import registry
+
+        class ExplodingBackend:
+            capabilities = registry.backend_for("gdocs").capabilities
+
+            def doc_id_of(self, request):
+                return "d"
+
+        monkeypatch.setattr(registry, "backend_for",
+                            lambda service: ExplodingBackend())
+        monkeypatch.setattr(
+            registry, "make_server",
+            lambda service, **kw: _raiser)
+        reply = _dispatch(server, {
+            "id": "2", "op": "http", "svc": "gdocs", "tn": "fresh",
+            "m": "POST", "u": "http://h/Edit?docID=d", "b": "x"})
+        response = decode_response_frame(reply)
+        assert response.status == 500
+        assert "server error" in response.body
+
+    def test_tenants_get_separate_instances_lazily(self, server):
+        assert server.instance_count == 0
+        _dispatch(server, {"id": "1", "op": OP_VIEW, "svc": "gdocs",
+                           "tn": "a", "doc": "ghost"})
+        _dispatch(server, {"id": "2", "op": OP_VIEW, "svc": "gdocs",
+                           "tn": "b", "doc": "ghost"})
+        assert server.instance_count == 2

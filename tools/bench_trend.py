@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""bench-trend: one trajectory table across every benchmark sidecar.
+
+Each ``BENCH_*.json`` at the repo root records a ``baseline`` block
+(the first-ever run, preserved forever) and a ``current`` block (the
+latest run).  This tool flattens both blocks of every sidecar into
+dotted cell labels and prints one table of
+
+    sidecar | cell | baseline | current | delta
+
+so a single glance answers "which numbers moved since the benchmark
+was first recorded, and in which direction".  The delta is the signed
+relative change of ``current`` against ``baseline``; cells present in
+only one block show up with the other side blank (a sidecar whose
+schema grew a section is a trend too).
+
+Only numeric leaves are compared — strings (latency-source tags,
+scheme names) and booleans are skipped.  Sidecars are discovered, not
+hard-coded: any future ``BENCH_*.json`` joins the table for free.
+
+Usage: ``python tools/bench_trend.py [--json] [--only GLOB]``
+(also ``make bench-trend``).  Exits 0 even when no sidecars exist —
+they are build artifacts; the tool reports trends, it does not gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def flatten(block, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested dict as ``a.b.c -> value``."""
+    flat: dict[str, float] = {}
+    if not isinstance(block, dict):
+        return flat
+    for key, value in block.items():
+        label = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten(value, label))
+        elif isinstance(value, bool):
+            continue  # converged flags etc. are not a trajectory
+        elif isinstance(value, (int, float)):
+            flat[label] = float(value)
+    return flat
+
+
+def sidecar_rows(path: pathlib.Path) -> list[dict]:
+    """Trend rows for one sidecar: baseline vs current per cell."""
+    try:
+        payload = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        return [{"sidecar": path.name, "cell": "<unreadable>",
+                 "baseline": None, "current": None,
+                 "error": str(exc)}]
+    baseline = flatten(payload.get("baseline"))
+    current = flatten(payload.get("current"))
+    rows = []
+    for cell in sorted(set(baseline) | set(current)):
+        rows.append({
+            "sidecar": path.name,
+            "cell": cell,
+            "baseline": baseline.get(cell),
+            "current": current.get(cell),
+        })
+    return rows
+
+
+def collect(only: str | None = None) -> list[dict]:
+    """Trend rows for every (matching) sidecar at the repo root."""
+    rows = []
+    for path in sorted(REPO.glob("BENCH_*.json")):
+        if only and not fnmatch.fnmatch(path.name, only):
+            continue
+        rows.extend(sidecar_rows(path))
+    return rows
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) >= 1000:
+        return f"{int(value)}"
+    return f"{value:g}"
+
+
+def _delta(row: dict) -> str:
+    base, cur = row.get("baseline"), row.get("current")
+    if base is None or cur is None:
+        return "-"
+    if base == 0:
+        return "-" if cur == 0 else "new"
+    return f"{(cur - base) / abs(base):+.1%}"
+
+
+def render(rows: list[dict]) -> str:
+    """The human table (machine consumers use --json instead)."""
+    if not rows:
+        return ("bench-trend: no BENCH_*.json sidecars at the repo "
+                "root (run the bench-* targets first)")
+    headers = ("sidecar", "cell", "baseline", "current", "delta")
+    table = [headers]
+    for row in rows:
+        table.append((row["sidecar"], row["cell"],
+                      _fmt(row["baseline"]), _fmt(row["current"]),
+                      _delta(row)))
+    widths = [max(len(line[col]) for line in table)
+              for col in range(len(headers))]
+    out = []
+    for i, line in enumerate(table):
+        out.append("  ".join(cell.ljust(width)
+                             for cell, width in zip(line, widths)).rstrip())
+        if i == 0:
+            out.append("  ".join("-" * width for width in widths))
+    sidecars = len({row["sidecar"] for row in rows})
+    out.append(f"({len(rows)} cells across {sidecars} sidecars)")
+    return "\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", action="store_true",
+                        help="emit the rows as JSON instead of a table")
+    parser.add_argument("--only", metavar="GLOB",
+                        help="restrict to sidecars matching this glob "
+                             "(e.g. 'BENCH_search*')")
+    args = parser.parse_args(argv)
+    rows = collect(args.only)
+    if args.json:
+        json.dump(rows, sys.stdout, indent=2)
+        print()
+    else:
+        print(render(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

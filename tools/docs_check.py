@@ -122,7 +122,13 @@ SIDECARS = {
         "repro.bench.load/v1", ("current", "seed", "fault_rate")),
     "BENCH_collab.json": (
         "repro.bench.collab/v1", ("current", "seed", "writer_counts")),
+    "BENCH_search.json": ("repro.bench.search/v1", ("current",)),
 }
+
+#: every repro.bench.search/v1 block must carry these sections (the
+#: three scaling curves plus the indexing-overhead gate cells)
+SEARCH_SECTIONS = ("query_usec", "index_update", "audit_verify_ms",
+                   "burst_overhead")
 
 #: every measured load cell must report these (the chart axes)
 LOAD_CELL_KEYS = ("sessions", "edits_per_sec", "save_p50_ms",
@@ -172,6 +178,28 @@ def _check_collab_rows(payload: dict) -> list[str]:
     return errors
 
 
+def _check_search_rows(payload: dict) -> list[str]:
+    """repro.bench.search/v1: every block carries all four sections,
+    each section a non-empty mapping of cells to numbers."""
+    errors = []
+    for block_name in ("baseline", "current"):
+        block = payload.get(block_name)
+        if block is None:
+            continue  # a first-ever run has no baseline yet
+        for section in SEARCH_SECTIONS:
+            rows = block.get(section)
+            if not isinstance(rows, dict) or not rows:
+                errors.append(f"{block_name}.{section} missing or empty")
+                continue
+            bad = [k for k, v in rows.items()
+                   if not isinstance(v, (int, float))]
+            if bad:
+                errors.append(
+                    f"{block_name}.{section} has non-numeric cells: "
+                    f"{', '.join(bad)}")
+    return errors
+
+
 def check_sidecars() -> list[str]:
     """Validate whichever BENCH_*.json sidecars exist at the repo root."""
     problems = []
@@ -198,6 +226,9 @@ def check_sidecars() -> list[str]:
         if schema == "repro.bench.collab/v1":
             problems.extend(f"{name}: {e}"
                             for e in _check_collab_rows(payload))
+        if schema == "repro.bench.search/v1":
+            problems.extend(f"{name}: {e}"
+                            for e in _check_search_rows(payload))
     return problems
 
 

@@ -37,9 +37,20 @@ enforces the layering that ``docs/architecture.md`` documents:
   ``repro.net.server`` (the socket server is provider territory), and
   the client layer may not import ``repro.net.pool`` either — it holds
   a ``Transport``, never raw connections.
+* **the tenant catalog** (``repro.services.catalog``, PR 10) is a
+  provider like any other (trusted-layer imports banned by the
+  services rule) and additionally may not import ``repro.crypto``:
+  it stores opaque trapdoors and posting blobs, and a catalog with
+  key material in scope could decrypt exactly what searchable
+  encryption keeps from it.
+* **the audit-chain core** (``repro.core.auditchain``, PR 10) is
+  shared by the client (verifier) and the catalog (prover) and may
+  not import ``repro.services`` — a chain primitive reaching into
+  server code would let the prover pick what the verifier checks.
 * as a belt-and-braces check, client/extension modules may not bind
-  the server class names (``GDocsServer``, ``BespinServer``, ...) via
-  ``from ... import`` even through a re-export.
+  the server class names (``GDocsServer``, ``BespinServer``,
+  ``CatalogService``, ...) via ``from ... import`` even through a
+  re-export.
 
 Run via ``make layering-check`` (part of ``make test``); exits
 non-zero listing every violation with its file and line.
@@ -66,6 +77,7 @@ SERVER_MODULES = (
 SERVER_NAMES = frozenset({
     "GDocsServer", "BespinServer", "BuzzwordServer",
     "ReplicatedService", "FlakyServer", "DocumentStore",
+    "CatalogService", "CatalogStore",
 })
 
 #: the one extension-layer module family allowed to build servers
@@ -86,6 +98,20 @@ NET_BANNED = ("repro.client", "repro.extension", "repro.crypto")
 #: merge engine that can decrypt is a provider that can read.
 OT_MODULE = "repro.services.ot"
 OT_BANNED = ("repro.crypto",)
+
+#: the catalog server op (PR 10) — trapdoor-keyed posting store plus
+#: the tenant's audit chains.  The general services rule already bans
+#: the trusted layer; key material is banned on top: a catalog holding
+#: keys could decrypt the very postings searchable encryption hides.
+CATALOG_MODULE = "repro.services.catalog"
+CATALOG_BANNED = ("repro.crypto",)
+
+#: the audit-chain core (PR 10) — pure hash-link algebra shared by the
+#: client (verifier) and the catalog (appender).  It must not import
+#: the services layer: a chain primitive reaching into server code
+#: would let the prover pick what the verifier checks.
+AUDIT_MODULE = "repro.core.auditchain"
+AUDIT_BANNED = ("repro.services",)
 
 
 def _module_name(path: pathlib.Path) -> str:
@@ -178,6 +204,24 @@ def check_source(module: str, source: str, where: str = "<source>"
                         f"{spot}: {module} imports {imported} — the OT "
                         f"merge engine transforms ciphertext deltas "
                         f"blind and must never hold key material"
+                    )
+        if module == CATALOG_MODULE or \
+                module.startswith(CATALOG_MODULE + "."):
+            for banned in CATALOG_BANNED:
+                if _covers(imported, banned):
+                    problems.append(
+                        f"{spot}: {module} imports {imported} — the "
+                        f"catalog stores opaque trapdoors and postings "
+                        f"and must never hold key material"
+                    )
+        if module == AUDIT_MODULE:
+            for banned in AUDIT_BANNED:
+                if _covers(imported, banned):
+                    problems.append(
+                        f"{spot}: {module} imports {imported} — the "
+                        f"audit-chain core is shared by verifier and "
+                        f"prover; pulling in server code would let the "
+                        f"prover pick what the verifier checks"
                     )
         if in_net:
             for banned in NET_BANNED:

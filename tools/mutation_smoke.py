@@ -1,23 +1,38 @@
 #!/usr/bin/env python3
-"""Prove the fuzz oracle has teeth: mutate the crypto, expect a catch.
+"""Prove the fuzz oracle has teeth: mutate the stack, expect a catch.
 
 A differential harness that never fails is indistinguishable from one
-that checks nothing.  This tool injects a known-load-bearing bug — it
-deletes the Wang–Kao–Yeh *length amendment* from the RPC checksum
-record (the XOR of the packed document length into the payload
-aggregate, ``RpcCodec.suffix``) — into a temporary copy of the source
-tree, then runs the same ``repro fuzz`` invocation against the clean
-tree and the mutant:
+that checks nothing.  This tool injects known-load-bearing bugs — each
+a one-line textual mutation of a temporary copy of the source tree —
+and runs the same ``repro fuzz`` invocation against the clean tree and
+each mutant:
 
 * clean tree  → exit 0 (no violations), or the harness is flaky;
-* mutant tree → exit != 0 (roundtrip/integrity violations), or the
-  harness is blind to a checksum that stopped binding the length.
+* mutant tree → exit != 0, or the harness is blind to that bug class.
 
-The mutation is applied textually so the tool exercises the real
-on-disk pipeline end to end; the original tree is never touched.
+The mutation table covers one oracle per stack layer:
 
-Usage: ``python tools/mutation_smoke.py [--iters N] [--seed N]``
-(also wired in as ``make mutation-smoke``, part of ``make fuzz``).
+``rpc-length-amendment``
+    Deletes the Wang–Kao–Yeh *length amendment* from the RPC checksum
+    record (the XOR of the packed document length into the payload
+    aggregate, ``RpcCodec.suffix``).  The engine profile's
+    checksum-verifying reload must flag it (``roundtrip``).
+``catalog-lookup-drops-posting``
+    The catalog server silently withholds the newest posting blob from
+    every trapdoor lookup.  The workspace profile's plaintext word
+    oracle must flag it (``search-mismatch``).
+``workspace-ignores-trusted-link``
+    The workspace client stops comparing a fetched audit chain against
+    its remembered ``(rev, link)`` anchor — exactly the check that
+    makes a *forged* self-consistent chain detectable.  The workspace
+    profile's rollback-attacking server must flag it (``audit-miss``).
+
+Mutations are applied textually so the tool exercises the real on-disk
+pipeline end to end; the original tree is never touched.
+
+Usage: ``python tools/mutation_smoke.py [--iters N] [--seed N]
+[--only NAME]`` (also wired in as ``make mutation-smoke``, part of
+``make fuzz``).
 """
 
 from __future__ import annotations
@@ -28,79 +43,143 @@ import shutil
 import subprocess
 import sys
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 
-#: the load-bearing line (leading indent included: the ``want_payload``
-#: re-derivation in ``load`` must NOT be touched, so the verifier still
-#: expects the amendment the mutant no longer writes)
-TARGET_FILE = "repro/core/rpc.py"
-TARGET = ("        payload = xor_bytes(state.payload_xor, "
-          "_pack_length(state.length))")
-MUTANT = ("        payload = state.payload_xor"
-          "  # MUTANT: length amendment dropped")
+
+@dataclass(frozen=True)
+class Mutation:
+    """One injected bug and the fuzz invocation that must catch it."""
+
+    name: str
+    file: str                    #: path under src/
+    target: str                  #: exact line to replace (indent included)
+    mutant: str                  #: the broken replacement
+    fuzz_args: tuple             #: extra ``repro fuzz`` arguments
+    iters: int                   #: iterations (clean and mutant runs)
+    blind_to: str                #: what a survival would mean
 
 
-def run_fuzz(pythonpath: Path, iters: int, seed: int) -> tuple[int, str]:
+MUTATIONS = (
+    # the ``want_payload`` re-derivation in ``load`` must NOT be
+    # touched, so the verifier still expects the amendment the mutant
+    # no longer writes
+    Mutation(
+        name="rpc-length-amendment",
+        file="repro/core/rpc.py",
+        target=("        payload = xor_bytes(state.payload_xor, "
+                "_pack_length(state.length))"),
+        mutant=("        payload = state.payload_xor"
+                "  # MUTANT: length amendment dropped"),
+        fuzz_args=("--profile", "engine", "--scheme", "rpc"),
+        iters=25,
+        blind_to="a broken RPC length amendment",
+    ),
+    Mutation(
+        name="catalog-lookup-drops-posting",
+        file="repro/services/catalog.py",
+        target="            return list(self._postings.get(trapdoor, ()))",
+        mutant=("            return list(self._postings.get("
+                "trapdoor, ()))[:-1]  # MUTANT: posting withheld"),
+        fuzz_args=("--profile", "workspace"),
+        iters=6,
+        blind_to="a catalog that withholds search postings",
+    ),
+    Mutation(
+        name="workspace-ignores-trusted-link",
+        file="repro/client/workspace.py",
+        target="            elif witnessed.link != trusted_link:",
+        mutant=("            elif False and witnessed.link != "
+                "trusted_link:  # MUTANT: anchor ignored"),
+        fuzz_args=("--profile", "workspace"),
+        iters=6,
+        blind_to="a forged (self-consistent) audit chain",
+    ),
+)
+
+
+def run_fuzz(pythonpath: Path, mutation: Mutation, iters: int,
+             seed: int) -> tuple[int, str]:
     """One ``repro fuzz`` subprocess against the given source tree."""
     env = dict(os.environ, PYTHONPATH=str(pythonpath))
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "fuzz",
-         "--profile", "engine", "--scheme", "rpc",
+         *mutation.fuzz_args,
          "--iters", str(iters), "--seed", str(seed)],
         env=env, capture_output=True, text=True, cwd=str(REPO),
     )
     return proc.returncode, proc.stdout + proc.stderr
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--iters", type=int, default=25,
-                        help="fuzz iterations per run (default 25; every "
-                             "engine trace ends in a checksum-verifying "
-                             "reload, so a handful suffices)")
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-
-    rpc = SRC / TARGET_FILE
-    source = rpc.read_text(encoding="utf-8")
-    if source.count(TARGET) != 1:
-        print(f"error: expected exactly one mutation target line in "
-              f"{TARGET_FILE}; found {source.count(TARGET)} "
-              f"(did the RPC codec change?)", file=sys.stderr)
+def check_mutation(mutation: Mutation, iters: int, seed: int) -> int:
+    """Run clean vs mutant for one table entry; 0 iff the bug is caught."""
+    path = SRC / mutation.file
+    source = path.read_text(encoding="utf-8")
+    if source.count(mutation.target) != 1:
+        print(f"error: [{mutation.name}] expected exactly one target "
+              f"line in {mutation.file}; found "
+              f"{source.count(mutation.target)} (did the code change?)",
+              file=sys.stderr)
         return 2
 
-    code, output = run_fuzz(SRC, args.iters, args.seed)
+    code, output = run_fuzz(SRC, mutation, iters, seed)
     if code != 0:
-        print("error: harness failed on the CLEAN tree — fix that "
-              "before trusting a mutation result:", file=sys.stderr)
+        print(f"error: [{mutation.name}] harness failed on the CLEAN "
+              f"tree — fix that before trusting a mutation result:",
+              file=sys.stderr)
         print(output, file=sys.stderr)
         return 2
-    print(f"clean tree:  exit 0 over {args.iters} iterations (good)")
+    print(f"[{mutation.name}] clean tree:  exit 0 over {iters} "
+          f"iterations (good)")
 
     with tempfile.TemporaryDirectory(prefix="repro-mutant-") as tmp:
         mutant_src = Path(tmp) / "src"
         shutil.copytree(SRC, mutant_src)
-        mutant_rpc = mutant_src / TARGET_FILE
-        mutant_rpc.write_text(source.replace(TARGET, MUTANT),
-                              encoding="utf-8")
-        code, output = run_fuzz(mutant_src, args.iters, args.seed)
+        mutant_file = mutant_src / mutation.file
+        mutant_file.write_text(
+            source.replace(mutation.target, mutation.mutant),
+            encoding="utf-8")
+        code, output = run_fuzz(mutant_src, mutation, iters, seed)
 
     if code == 0:
-        print("MUTATION SURVIVED: the harness ran the mutant tree "
-              "without a single violation — the oracle is blind to a "
-              "broken RPC length amendment.", file=sys.stderr)
+        print(f"MUTATION SURVIVED: [{mutation.name}] ran the mutant "
+              f"tree without a single violation — the oracle is blind "
+              f"to {mutation.blind_to}.", file=sys.stderr)
         return 1
-    caught = [line for line in output.splitlines()
-              if "roundtrip" in line or "Integrity" in line]
-    print(f"mutant tree: exit {code} — harness caught the broken "
-          f"checksum ({len(caught)} violation line(s))")
+    caught = [line for line in output.splitlines() if "violation" in
+              line.lower() or "[" in line]
+    print(f"[{mutation.name}] mutant tree: exit {code} — harness "
+          f"caught {mutation.blind_to}")
     if caught:
-        print(f"  e.g. {caught[0].strip()}")
-    print("mutation smoke: PASS (the oracle has teeth)")
+        print(f"  e.g. {caught[0].strip()[:100]}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iters", type=int, default=0,
+                        help="override fuzz iterations for every "
+                             "mutation (default: each entry's own "
+                             "count; a handful suffices — every trace "
+                             "ends in the relevant oracle)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", metavar="NAME",
+                        choices=[m.name for m in MUTATIONS],
+                        help="run a single mutation from the table")
+    args = parser.parse_args(argv)
+
+    worst = 0
+    for mutation in MUTATIONS:
+        if args.only and mutation.name != args.only:
+            continue
+        iters = args.iters or mutation.iters
+        worst = max(worst, check_mutation(mutation, iters, args.seed))
+    if worst == 0:
+        print("mutation smoke: PASS (the oracle has teeth)")
+    return worst
 
 
 if __name__ == "__main__":
